@@ -1,0 +1,187 @@
+// Command gesp-bench regenerates the tables and figures of "Making
+// Sparse Gaussian Elimination Scalable by Static Pivoting" (Li & Demmel,
+// SC 1998) on the synthetic testbed. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	gesp-bench -exp all                 # everything (slow)
+//	gesp-bench -exp fig4 -scale 0.5     # one experiment, custom scale
+//	gesp-bench -exp table3 -procs 4,16,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"gesp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gesp-bench: ")
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape")
+		scale  = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
+		procsF = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
+		p5     = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
+	)
+	flag.Parse()
+
+	procs, err := parseProcs(*procsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	known := map[string]bool{
+		"all": true, "serial": true, "scaling": true,
+		"table1": true, "fig2": true, "fig3": true, "fig4": true, "fig5": true, "fig6": true,
+		"table2": true, "table3": true, "table4": true, "table5": true,
+		"edag": true, "pipeline": true, "nopivot": true, "blocksize": true,
+		"ordering": true, "iterative": true, "relax": true, "redist": true, "gridshape": true,
+	}
+	if !known[*exp] {
+		log.Fatalf("unknown experiment %q (see -h for the list)", *exp)
+	}
+	w := os.Stdout
+
+	needSerial := map[string]bool{"all": true, "serial": true, "fig2": true, "fig3": true, "fig4": true, "fig5": true, "fig6": true}
+	needScaling := map[string]bool{"all": true, "scaling": true, "table3": true, "table4": true, "table5": true}
+
+	var serial []experiments.SerialRow
+	if needSerial[*exp] {
+		log.Printf("running serial testbed (53 matrices, scale %.2f)...", *scale)
+		serial = experiments.RunSerial(*scale, true, true)
+	}
+	var scaling []experiments.ScalingRow
+	if needScaling[*exp] {
+		log.Printf("running distributed sweep (8 matrices x P=%v, scale %.2f)...", procs, *scale)
+		experiments.Progress = log.Printf
+		scaling, err = experiments.RunScaling(*scale, procs, true, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	groups := map[string][]string{
+		"serial":  {"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "nopivot"},
+		"scaling": {"table2", "table3", "table4", "table5"},
+	}
+	section := func(name string, f func()) {
+		run := *exp == "all" || *exp == name
+		for _, member := range groups[*exp] {
+			if member == name {
+				run = true
+			}
+		}
+		if run {
+			f()
+			fmt.Fprintln(w)
+		}
+	}
+	section("table1", func() { experiments.PrintTable1(w, *scale) })
+	section("fig2", func() { experiments.PrintFigure2(w, serial) })
+	section("fig3", func() { experiments.PrintFigure3(w, serial) })
+	section("fig4", func() { experiments.PrintFigure4(w, serial) })
+	section("fig5", func() { experiments.PrintFigure5(w, serial) })
+	section("fig6", func() { experiments.PrintFigure6(w, serial) })
+	section("nopivot", func() { experiments.PrintNoPivot(w, *scale) })
+	section("table2", func() { experiments.PrintTable2(w, *scale) })
+	section("table3", func() { experiments.PrintTable3(w, scaling, procs) })
+	section("table4", func() { experiments.PrintTable4(w, scaling, procs) })
+	section("table5", func() { experiments.PrintTable5(w, scaling, procs, *p5) })
+	section("edag", func() {
+		r, err := experiments.EDAGAblation("AF23560", *scale, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintAblation(w, "EDAG-pruned communication (paper: 16% fewer messages, AF23560, 32 PEs)", r)
+	})
+	section("pipeline", func() {
+		r, err := experiments.PipelineAblation("AF23560", *scale, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintAblation(w, "Pipelined factorization (paper: 10-40% faster on 64 PEs)", r)
+	})
+	section("blocksize", func() {
+		res, err := experiments.BlockSizeAblation("AF23560", *scale, 16, []int{4, 8, 16, 24, 32, 64, 128})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, "Maximum block size sweep (paper: 20-30 best on the T3E, 24 used):")
+		fmt.Fprintf(w, "%8s %12s %10s\n", "maxSuper", "factor(s)", "avgSup")
+		for _, r := range res {
+			fmt.Fprintf(w, "%8d %12.4f %10.1f\n", r.MaxSuper, r.FactorTime, r.AvgSuper)
+		}
+	})
+	section("ordering", func() {
+		rows, err := experiments.OrderingAblation(
+			[]string{"AF23560", "MEMPLUS", "SHERMAN4", "TWOTONE", "WANG4"}, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, "Fill-reducing ordering comparison, nnz(L+U):")
+		fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n", "Matrix", "mmd-ata", "mmd-at+a", "rcm", "nd-ata", "natural")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-10s %12d %12d %12d %12d %12d\n",
+				r.Name, r.Fill["mmd-ata"], r.Fill["mmd-at+a"], r.Fill["rcm"], r.Fill["nd-ata"], r.Fill["natural"])
+		}
+	})
+	section("relax", func() {
+		res, err := experiments.RelaxAblation("TWOTONE", *scale, 16, []int{0, 1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, "Supernode amalgamation sweep (paper 5: amalgamate small supernodes):")
+		fmt.Fprintf(w, "%8s %10s %10s %12s\n", "relax", "avgSup", "#sup", "factor(s)")
+		for _, r := range res {
+			fmt.Fprintf(w, "%8d %10.2f %10d %12.4f\n", r.Relax, r.AvgSuper, r.NumSuper, r.FactorTime)
+		}
+	})
+	section("gridshape", func() {
+		rows, err := experiments.GridShapeAblation("AF23560", *scale, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, "Process-grid shape on 16 PEs (paper: 2-D beats the natural 1-D layout):")
+		fmt.Fprintf(w, "%8s %12s %12s %14s %8s\n", "grid", "factor(s)", "solve(s)", "volume(bytes)", "B")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%8s %12.4f %12.4f %14d %8.2f\n", r.Shape, r.FactorTime, r.SolveTime, r.Volume, r.Balance)
+		}
+	})
+	section("redist", func() {
+		rows, err := experiments.RedistAblation(*scale, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, "1-D to 2-D redistribution cost vs factorization (future-work input interface), P=64:")
+		fmt.Fprintf(w, "%-10s %12s %12s %10s %12s\n", "Matrix", "redist(s)", "factor(s)", "msgs", "bytes")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-10s %12.4f %12.4f %10d %12d\n", r.Name, r.RedistTime, r.FactorTime, r.RedistMsgs, r.RedistBytes)
+		}
+	})
+	section("iterative", func() {
+		rows, err := experiments.IterativeAblation(
+			[]string{"AF23560", "MEMPLUS", "GEMAT11", "WEST2021", "SHERMAN4", "ONETONE1"}, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintIterative(w, rows)
+	})
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad processor count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

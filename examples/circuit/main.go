@@ -1,0 +1,95 @@
+// Circuit simulation workload: a modified-nodal-analysis matrix whose
+// voltage sources put structural zeros on the diagonal — the failure mode
+// that makes plain no-pivoting elimination impossible (27 of the paper's
+// 53 matrices) and that GESP's static pivoting handles. Also demonstrates
+// the aggressive pivot replacement with Sherman–Morrison–Woodbury
+// recovery from the paper's future-work section.
+//
+//	go run ./examples/circuit
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gesp/internal/core"
+	"gesp/internal/lu"
+	"gesp/internal/matgen"
+	"gesp/internal/ordering"
+	"gesp/internal/sparse"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	a := matgen.Circuit(800, 5, 80, rng)
+	a = matgen.EnsureFullRank(a, rng)
+	// Put the source unknowns (structurally zero diagonals) first, as a
+	// circuit netlist ordering plausibly would: plain elimination then
+	// meets a zero pivot in column 0 immediately.
+	n := a.Rows
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		perm[i] = (i + 80) % n
+	}
+	a = a.PermuteSym(perm)
+	fmt.Printf("MNA circuit matrix: n=%d nnz=%d zero-diagonals=%d\n", a.Rows, a.Nnz(), a.ZeroDiagonals())
+
+	b := matgen.OnesRHS(a)
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+
+	// 1. Plain no-pivoting elimination: breaks down on the zero diagonal.
+	bare := core.Options{Ordering: ordering.Natural}
+	if _, err := core.New(a, bare); err != nil {
+		fmt.Printf("no pivoting            : FAILS (%v)\n", unwrapMsg(err))
+	} else {
+		fmt.Println("no pivoting            : survived (values filled the diagonal)")
+	}
+
+	// 2. Full GESP: the static pipeline handles it.
+	solver, err := core.New(a, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := solver.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := solver.Stats()
+	fmt.Printf("GESP                   : error %.2e, berr %.2e, %d refinement steps, %d tiny pivots\n",
+		sparse.RelErrInf(x, ones), st.Berr, st.RefineSteps, st.TinyPivots)
+
+	// 3. Aggressive pivot replacement + SMW recovery (future work §5).
+	opts := core.DefaultOptions()
+	opts.AggressivePivot = true
+	solver2, err := core.New(a, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x2, err := solver2.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GESP + aggressive/SMW  : error %.2e, berr %.2e\n",
+		sparse.RelErrInf(x2, ones), solver2.Stats().Berr)
+
+	// 4. GEPP reference.
+	if gepp, err := lu.GEPP(a); err == nil {
+		xp := gepp.SolvePerm(b)
+		fmt.Printf("GEPP (partial pivoting): error %.2e\n", sparse.RelErrInf(xp, ones))
+	}
+}
+
+func unwrapMsg(err error) string {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err.Error()
+		}
+		err = u
+	}
+}

@@ -1,0 +1,59 @@
+// Distributed solve: run the paper's Section 3 algorithms — 2-D
+// block-cyclic LU factorization with pipelining and EDAG-pruned
+// communication, plus the message-driven triangular solves — on a
+// simulated T3E-900, sweeping the processor count to show the scaling
+// behaviour of Tables 3 and 4.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gesp/internal/core"
+	"gesp/internal/dist"
+	"gesp/internal/matgen"
+	"gesp/internal/sparse"
+)
+
+func main() {
+	m, _ := matgen.Lookup("WANG4")
+	a := m.Generate(1.0)
+	fmt.Printf("%s (%s): n=%d nnz=%d\n", m.Name, m.Discipline, a.Rows, a.Nnz())
+
+	// Steps (1)-(2) and the symbolic analysis run once, serially — the
+	// paper does the same ("we run steps (1) and (2) independently on
+	// each processor").
+	solver, err := core.NewAnalysis(a, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := solver.Stats()
+	fmt.Printf("analysis: nnz(L+U)=%d, %.3g flops, %d supernodes (avg %.1f cols)\n\n",
+		st.NnzLU, float64(st.Flops), st.NumSuper, st.AvgSuper)
+
+	b := matgen.OnesRHS(a)
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+
+	fmt.Printf("%6s %8s %12s %10s %8s %10s %12s %10s\n",
+		"P", "grid", "factor(s)", "Mflops", "B", "comm", "solve(s)", "error")
+	for _, p := range []int{1, 4, 16, 64, 256} {
+		x, res, err := solver.DistSolve(b, dist.Options{
+			Procs: p, Pipeline: true, EDAGPrune: true, ReplaceTinyPivot: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %8s %12.4f %10.0f %8.2f %9.0f%% %12.5f %10.2e\n",
+			p, res.Grid.String(), res.Factor.SimTime, res.Factor.Mflops,
+			res.Factor.LoadBalance, 100*res.Factor.CommFraction,
+			res.Solve.SimTime, sparse.RelErrInf(x, ones))
+	}
+	fmt.Println("\n(simulated seconds on the modelled Cray T3E-900; static pivoting means")
+	fmt.Println("the parallel algorithm computes the same factors as the serial one,")
+	fmt.Println("independent of the processor count)")
+}

@@ -1,0 +1,3 @@
+module gesp
+
+go 1.22

@@ -1,0 +1,379 @@
+// Package core implements the GESP driver — the paper's Figure 1
+// algorithm end to end:
+//
+//	(1) row/column equilibration and a row permutation moving large
+//	    entries onto the diagonal (weighted bipartite matching),
+//	(2) a fill-reducing column ordering applied symmetrically so the
+//	    large diagonal survives,
+//	(3) LU factorization with NO pivoting, replacing tiny pivots by
+//	    sqrt(eps)·||A||,
+//	(4) iterative refinement driven by the componentwise backward error.
+//
+// The solver exposes every step as an option (the paper: "we provide a
+// flexible interface so the user is able to turn on or off any of these
+// options", needed because e.g. FIDAPM11 prefers no column scaling and
+// EX11 prefers no tiny-pivot replacement).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gesp/internal/dist"
+	"gesp/internal/equil"
+	"gesp/internal/lu"
+	"gesp/internal/matching"
+	"gesp/internal/ordering"
+	"gesp/internal/refine"
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+// Options select which GESP steps run and how.
+type Options struct {
+	// Equilibrate applies DGEEQU-style row/column scaling (step 1).
+	Equilibrate bool
+	// RowPermute applies the MC64-style large-diagonal permutation and its
+	// dual scalings (step 1).
+	RowPermute bool
+	// ColScale controls whether the matching's column scaling is applied;
+	// the paper found FIDAPM11, JPWH_991 and ORSIRR_1 need it off.
+	ColScale bool
+	// Ordering is the fill-reducing heuristic of step (2).
+	Ordering ordering.Method
+	// ReplaceTinyPivot enables step (3)'s perturbation; EX11 and RADFR1
+	// need it off per the paper.
+	ReplaceTinyPivot bool
+	// AggressivePivot replaces tiny pivots by the column max and recovers
+	// the original system by Sherman–Morrison–Woodbury (future work §5).
+	AggressivePivot bool
+	// Refine enables step (4); MaxRefine bounds its iterations (0 = 10).
+	Refine    bool
+	MaxRefine int
+	// ExtraPrecision computes refinement residuals in compensated
+	// arithmetic (future work §5).
+	ExtraPrecision bool
+	// MaxSuper caps supernode width (the paper uses 24).
+	MaxSuper int
+	// Relax amalgamates supernodes whose patterns are nested within the
+	// given slack (the paper's §5: "uniprocessor performance can also be
+	// improved by amalgamating small supernodes into large ones").
+	Relax int
+}
+
+// DefaultOptions returns the paper's recommended configuration.
+func DefaultOptions() Options {
+	return Options{
+		Equilibrate:      true,
+		RowPermute:       true,
+		ColScale:         true,
+		Ordering:         ordering.MinDegATA,
+		ReplaceTinyPivot: true,
+		Refine:           true,
+	}
+}
+
+// StepTimes records wall-clock time per GESP phase (the paper's Figure 6
+// compares these against the factorization time).
+type StepTimes struct {
+	Equil    time.Duration
+	RowPerm  time.Duration // "permute large diagonal"
+	Order    time.Duration
+	Symbolic time.Duration
+	Factor   time.Duration
+	Solve    time.Duration // triangular solves of the last Solve call
+	Residual time.Duration // residual computations during refinement
+	Refine   time.Duration // whole refinement loop
+	Ferr     time.Duration // forward-error estimation, if requested
+}
+
+// Stats describes a completed analysis/factorization.
+type Stats struct {
+	N           int
+	NnzA        int
+	NnzLU       int // nnz(L+U), Figure 2's fill metric
+	Flops       int64
+	TinyPivots  int
+	ZeroDiagsIn int     // zero diagonals before any permutation
+	DiagLogProd float64 // matching objective: sum log10 |diag|
+	NumSuper    int
+	AvgSuper    float64
+	RecipGrowth float64
+	Times       StepTimes
+	RefineSteps int
+	Berr        float64
+	BerrHistory []float64
+	Converged   bool
+}
+
+// Solver is a factored GESP system ready to solve right-hand sides.
+type Solver struct {
+	opts Options
+	n    int
+
+	rowMap []int     // original row -> row of the factored matrix
+	colMap []int     // original col -> col of the factored matrix
+	dR, dC []float64 // combined row/column scalings (nil = identity)
+
+	ap  *sparse.CSC // the matrix actually factored: Pc·Pr·DR·A·DC·Pcᵀ
+	sym *symbolic.Result
+	fac *lu.Factors
+	sys refine.System
+
+	stats Stats
+}
+
+// New runs GESP steps (1)–(3) on a: preprocessing, symbolic analysis and
+// numeric factorization. The returned Solver is ready for Solve calls.
+func New(a *sparse.CSC, opts Options) (*Solver, error) {
+	return build(a, opts, true)
+}
+
+// NewAnalysis runs only the preprocessing and symbolic analysis (steps
+// (1), (2) and the static structure), leaving the numeric factorization
+// to a distributed run via DistSolve. This mirrors the paper's setup:
+// "the symbolic analysis is not yet parallel, so we run steps (1) and (2)
+// independently on each processor" before the parallel numeric phases.
+func NewAnalysis(a *sparse.CSC, opts Options) (*Solver, error) {
+	return build(a, opts, false)
+}
+
+func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("core: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	s := &Solver{opts: opts, n: n}
+	s.stats.N = n
+	s.stats.NnzA = a.Nnz()
+	s.stats.ZeroDiagsIn = a.ZeroDiagonals()
+
+	work := a.Clone()
+	s.dR = make([]float64, n)
+	s.dC = make([]float64, n)
+	for i := 0; i < n; i++ {
+		s.dR[i] = 1
+		s.dC[i] = 1
+	}
+
+	// Step (1a): equilibration.
+	if opts.Equilibrate {
+		t0 := time.Now()
+		eq, err := equil.Equilibrate(work)
+		if err != nil {
+			return nil, fmt.Errorf("core: equilibration: %w", err)
+		}
+		if eq.NeedsScaling() {
+			eq.Apply(work)
+			for i := 0; i < n; i++ {
+				s.dR[i] *= eq.R[i]
+				s.dC[i] *= eq.C[i]
+			}
+		}
+		s.stats.Times.Equil = time.Since(t0)
+	}
+
+	// Step (1b): permute large entries to the diagonal.
+	s.rowMap = sparse.IdentityPerm(n)
+	if opts.RowPermute {
+		t0 := time.Now()
+		mc, err := matching.MaxProductMatching(work)
+		if err != nil {
+			return nil, fmt.Errorf("core: large-diagonal permutation: %w", err)
+		}
+		dc := mc.Dc
+		if !opts.ColScale {
+			dc = nil
+		}
+		work.ScaleRowsCols(mc.Dr, dc)
+		for i := 0; i < n; i++ {
+			s.dR[i] *= mc.Dr[i]
+			if dc != nil {
+				s.dC[i] *= mc.Dc[i]
+			}
+		}
+		work = work.PermuteRows(mc.RowPerm)
+		s.rowMap = mc.RowPerm
+		s.stats.DiagLogProd = mc.LogProd
+		s.stats.Times.RowPerm = time.Since(t0)
+	}
+
+	// Step (2): fill-reducing ordering, applied to rows AND columns so the
+	// large diagonal stays on the diagonal.
+	t0 := time.Now()
+	pc := ordering.Order(work, opts.Ordering)
+	work = work.PermuteSym(pc)
+	s.colMap = pc
+	s.rowMap = sparse.ComposePerm(pc, s.rowMap)
+	s.stats.Times.Order = time.Since(t0)
+
+	// Symbolic analysis (static: possible precisely because there is no
+	// dynamic pivoting).
+	t0 = time.Now()
+	sym, err := symbolic.Factorize(work, symbolic.Options{MaxSuper: opts.MaxSuper, Relax: opts.Relax})
+	if err != nil {
+		return nil, fmt.Errorf("core: symbolic: %w", err)
+	}
+	s.stats.Times.Symbolic = time.Since(t0)
+	s.stats.NnzLU = sym.FillLU()
+	s.stats.Flops = sym.Flops
+	s.stats.NumSuper = sym.NumSupernodes()
+	s.stats.AvgSuper = sym.AvgSupernode()
+
+	s.ap, s.sym = work, sym
+	if !numeric {
+		return s, nil
+	}
+
+	// Step (3): numeric factorization with static pivoting.
+	t0 = time.Now()
+	fac, err := lu.Factorize(work, sym, lu.Options{
+		ReplaceTinyPivot: opts.ReplaceTinyPivot,
+		Aggressive:       opts.AggressivePivot,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: factorization: %w", err)
+	}
+	s.stats.Times.Factor = time.Since(t0)
+	s.stats.TinyPivots = fac.TinyPivots
+	s.stats.RecipGrowth = fac.ReciprocalPivotGrowth()
+
+	s.fac = fac
+	s.sys = fac
+	if opts.AggressivePivot && fac.TinyPivots > 0 {
+		smw, err := refine.NewSMWSolver(fac)
+		if err != nil {
+			return nil, fmt.Errorf("core: SMW recovery: %w", err)
+		}
+		s.sys = smw
+	}
+	return s, nil
+}
+
+// DistSolve factors and solves on a simulated distributed-memory machine
+// (the paper's Section 3). The preprocessing and symbolic analysis of
+// this Solver are reused; the numeric factorization and both triangular
+// solves run distributed. The returned solution is in original
+// coordinates; the dist.Result carries the simulated machine statistics
+// that Tables 3–5 report.
+//
+// Step (4) refinement: when this Solver also holds serial factors (built
+// with New rather than NewAnalysis) and Refine is enabled, the
+// distributed solution is refined serially, correcting any tiny-pivot
+// perturbations. Otherwise the componentwise backward error of the raw
+// distributed solution is still measured and recorded in Stats.
+func (s *Solver) DistSolve(b []float64, dopts dist.Options) ([]float64, *dist.Result, error) {
+	if len(b) != s.n {
+		return nil, nil, fmt.Errorf("core: right-hand side length %d, want %d", len(b), s.n)
+	}
+	dopts.ReplaceTinyPivot = dopts.ReplaceTinyPivot || s.opts.ReplaceTinyPivot
+	bh := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		bh[s.rowMap[i]] = s.dR[i] * b[i]
+	}
+	res, err := dist.Solve(s.ap, s.sym, bh, dopts)
+	if err != nil {
+		return nil, res, err
+	}
+	y := append([]float64(nil), res.X...)
+	if s.opts.Refine && s.sys != nil {
+		st := refine.Refine(s.ap, s.sys, y, bh, refine.Options{
+			MaxIter:        s.opts.MaxRefine,
+			ExtraPrecision: s.opts.ExtraPrecision,
+		})
+		s.stats.RefineSteps = st.Steps
+		s.stats.Berr = st.FinalBerr
+		s.stats.BerrHistory = st.Berrs
+		s.stats.Converged = st.Converged
+	} else {
+		s.stats.RefineSteps = 0
+		s.stats.Berr = refine.Berr(s.ap, y, bh)
+		s.stats.BerrHistory = []float64{s.stats.Berr}
+		s.stats.Converged = s.stats.Berr <= lu.Eps
+	}
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		x[j] = s.dC[j] * y[s.colMap[j]]
+	}
+	return x, res, nil
+}
+
+// Solve computes x with A·x = b (original coordinates), running step (4)
+// refinement when enabled. It may be called repeatedly with different
+// right-hand sides.
+func (s *Solver) Solve(b []float64) ([]float64, error) {
+	if len(b) != s.n {
+		return nil, fmt.Errorf("core: right-hand side length %d, want %d", len(b), s.n)
+	}
+	if s.sys == nil {
+		return nil, fmt.Errorf("core: Solver built with NewAnalysis holds no numeric factors; use DistSolve or New")
+	}
+	// b̂[rowMap[i]] = dR[i]·b[i]; solve Â·ŷ = b̂; x[j] = dC[j]·ŷ[colMap[j]].
+	bh := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		bh[s.rowMap[i]] = s.dR[i] * b[i]
+	}
+	t0 := time.Now()
+	y := append([]float64(nil), bh...)
+	s.sys.Solve(y)
+	s.stats.Times.Solve = time.Since(t0)
+
+	if s.opts.Refine {
+		t0 = time.Now()
+		st := refine.Refine(s.ap, s.sys, y, bh, refine.Options{
+			MaxIter:        s.opts.MaxRefine,
+			ExtraPrecision: s.opts.ExtraPrecision,
+		})
+		s.stats.Times.Refine = time.Since(t0)
+		s.stats.RefineSteps = st.Steps
+		s.stats.Berr = st.FinalBerr
+		s.stats.BerrHistory = st.Berrs
+		s.stats.Converged = st.Converged
+	} else {
+		s.stats.Berr = refine.Berr(s.ap, y, bh)
+		s.stats.Converged = s.stats.Berr <= lu.Eps
+	}
+
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		x[j] = s.dC[j] * y[s.colMap[j]]
+	}
+	return x, nil
+}
+
+// Stats returns the accumulated statistics (analysis stats after New,
+// solve/refinement stats after Solve).
+func (s *Solver) Stats() Stats { return s.stats }
+
+// PermutedMatrix exposes the matrix that was actually factored, in the
+// solver's internal coordinates; distributed drivers and tests use it.
+func (s *Solver) PermutedMatrix() *sparse.CSC { return s.ap }
+
+// Symbolic exposes the static elimination structure.
+func (s *Solver) Symbolic() *symbolic.Result { return s.sym }
+
+// Factors exposes the numeric factors.
+func (s *Solver) Factors() *lu.Factors { return s.fac }
+
+// CondEst estimates the 1-norm condition number of the factored
+// (permuted, scaled) matrix.
+func (s *Solver) CondEst() float64 {
+	return refine.Cond1Est(s.ap, s.sys)
+}
+
+// ForwardErrorBound estimates the componentwise forward error of the
+// solution x for right-hand side b, both in ORIGINAL coordinates. This is
+// the expensive optional diagnostic of the paper's Figure 6.
+func (s *Solver) ForwardErrorBound(x, b []float64) float64 {
+	t0 := time.Now()
+	defer func() { s.stats.Times.Ferr = time.Since(t0) }()
+	bh := make([]float64, s.n)
+	yh := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		bh[s.rowMap[i]] = s.dR[i] * b[i]
+	}
+	for j := 0; j < s.n; j++ {
+		yh[s.colMap[j]] = x[j] / s.dC[j]
+	}
+	return refine.ForwardErrorBound(s.ap, s.sys, yh, bh)
+}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gesp/internal/mpisim"
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+// PhaseStats reports one phase (factorization or solve) of a distributed
+// run in the simulator's virtual machine model.
+type PhaseStats struct {
+	// SimTime is the simulated parallel runtime in seconds on the
+	// modelled machine (Tables 3 and 4 report this).
+	SimTime float64
+	// Mflops is the simulated aggregate megaflop rate.
+	Mflops float64
+	// CommFraction is the fraction of simulated time spent communicating
+	// (Table 5).
+	CommFraction float64
+	// LoadBalance is the paper's factor B = avg workload / max workload.
+	LoadBalance float64
+	// Messages and Volume count point-to-point traffic.
+	Messages int64
+	Volume   int64
+	// Wall is the real elapsed time of the phase on the host.
+	Wall time.Duration
+}
+
+// Result of a distributed factorization + solve.
+type Result struct {
+	X           []float64
+	Grid        mpisim.Grid
+	Factor      PhaseStats
+	Solve       PhaseStats
+	TinyPivots  int
+	SupernodeAv float64
+}
+
+// ErrZeroPivotDist mirrors the serial zero-pivot failure.
+var ErrZeroPivotDist = errors.New("dist: zero pivot with replacement disabled")
+
+// Solve factors the (already permuted and scaled) matrix a with the
+// distributed GESP algorithm and solves a·x = b. The symbolic structure
+// must come from symbolic.Factorize on the same matrix.
+func Solve(a *sparse.CSC, sym *symbolic.Result, b []float64, opts Options) (*Result, error) {
+	res, xs, err := solveMulti(a, sym, [][]float64{b}, opts)
+	if err != nil {
+		return res, err
+	}
+	res.X = xs[0]
+	return res, nil
+}
+
+// SolveMulti factors once and solves several right-hand sides, the
+// amortization scenario the paper's §5 discusses ("will probably depend
+// on the number of right-hand sides"). The Solve phase statistics cover
+// all right-hand sides together.
+func SolveMulti(a *sparse.CSC, sym *symbolic.Result, bs [][]float64, opts Options) (*Result, [][]float64, error) {
+	return solveMulti(a, sym, bs, opts)
+}
+
+func solveMulti(a *sparse.CSC, sym *symbolic.Result, bs [][]float64, opts Options) (*Result, [][]float64, error) {
+	if opts.Procs <= 0 {
+		opts.Procs = 4
+	}
+	model := mpisim.T3E900()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	st := BuildStructure(sym)
+	grid := mpisim.NewGrid(opts.Procs)
+	if opts.Grid != nil {
+		grid = *opts.Grid
+	}
+	world := mpisim.NewWorld(opts.Procs, model)
+	thresh := defaultThreshold(a, opts.Threshold)
+
+	res := &Result{Grid: grid, SupernodeAv: sym.AvgSupernode()}
+	outs := make([][]float64, len(bs))
+	for i := range outs {
+		outs[i] = make([]float64, sym.N)
+	}
+
+	snaps := make([][4]mpisim.Snapshot, opts.Procs)
+	tinies := make([]int, opts.Procs)
+	fails := make([]bool, opts.Procs)
+	var wallFactor, wallSolve time.Duration
+	var wallMu sync.Mutex
+
+	world.Run(func(r *mpisim.Rank) {
+		myR, myC := grid.Coords(r.ID())
+		w := &worker{
+			r: r, g: grid, st: st, opts: opts,
+			myR: myR, myC: myC,
+			thresh:    thresh,
+			panelDone: make([]bool, st.N),
+		}
+		w.blocks = st.ScatterA(a, func(i, j int) bool { return grid.OwnerOfBlock(i, j) == r.ID() })
+
+		r.Barrier()
+		snaps[r.ID()][0] = r.Snap()
+		t0 := time.Now()
+		w.factorize()
+		r.Barrier()
+		if r.ID() == 0 {
+			wallMu.Lock()
+			wallFactor = time.Since(t0)
+			wallMu.Unlock()
+		}
+		snaps[r.ID()][1] = r.Snap()
+
+		t1 := time.Now()
+		solutions := make([]map[int][]float64, len(bs))
+		for q, b := range bs {
+			xs := w.lowerSolve(b)
+			r.Barrier()
+			solutions[q] = w.upperSolve(xs)
+			r.Barrier()
+		}
+		if r.ID() == 0 {
+			wallMu.Lock()
+			wallSolve = time.Since(t1)
+			wallMu.Unlock()
+		}
+		snaps[r.ID()][2] = r.Snap()
+
+		for q := range bs {
+			w.gatherX(solutions[q], outs[q])
+			r.Barrier() // gather reuses per-supernode tags across RHS
+		}
+		snaps[r.ID()][3] = r.Snap()
+		tinies[r.ID()] = w.tiny
+		fails[r.ID()] = w.zeroPivot
+	})
+
+	before := make([]mpisim.Snapshot, opts.Procs)
+	mid := make([]mpisim.Snapshot, opts.Procs)
+	after := make([]mpisim.Snapshot, opts.Procs)
+	for i := 0; i < opts.Procs; i++ {
+		before[i] = snaps[i][0]
+		mid[i] = snaps[i][1]
+		after[i] = snaps[i][2]
+		res.TinyPivots += tinies[i]
+	}
+	fs := mpisim.PhaseStats(before, mid)
+	ss := mpisim.PhaseStats(mid, after)
+	res.Factor = PhaseStats{
+		SimTime: fs.Time, Mflops: fs.Mflops(), CommFraction: fs.CommFraction,
+		LoadBalance: fs.LoadBalance, Messages: fs.Messages, Volume: fs.Volume, Wall: wallFactor,
+	}
+	res.Solve = PhaseStats{
+		SimTime: ss.Time, Mflops: ss.Mflops(), CommFraction: ss.CommFraction,
+		LoadBalance: ss.LoadBalance, Messages: ss.Messages, Volume: ss.Volume, Wall: wallSolve,
+	}
+	for i := range fails {
+		if fails[i] {
+			return res, nil, fmt.Errorf("%w (rank %d)", ErrZeroPivotDist, i)
+		}
+	}
+	return res, outs, nil
+}

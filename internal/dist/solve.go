@@ -1,0 +1,349 @@
+package dist
+
+// Distributed triangular solves, following the paper's Figure 9: the
+// "inner product" formulation driven by messages, with fmod/frecv
+// counters for the lower solve and bmod/brecv for the upper solve.
+// Execution is fully asynchronous: a rank loops on RecvAny and reacts to
+// whichever partial sum or solution subvector arrives.
+
+// lowerSolve computes x = L⁻¹·b. b is replicated on entry (the paper
+// distributes it with the matrix; replication only skips the initial
+// scatter). On return the diagonal owners hold x(K) in xs[K].
+func (w *worker) lowerSolve(b []float64) map[int][]float64 {
+	ns := w.st.N
+
+	// ownedLAt[j] lists this rank's L blocks (I, J=j) keyed by panel.
+	ownedLAt := make(map[int][]*lContrib)
+	fmod := make(map[int]int) // pending local contributions to row I
+	for j := 0; j < ns; j++ {
+		for bi := range w.st.LBlocks[j] {
+			lb := &w.st.LBlocks[j][bi]
+			if w.owner(lb.I, j) == w.me() {
+				ownedLAt[j] = append(ownedLAt[j], &lContrib{i: lb.I, blk: w.blocks[lb.I*ns+j]})
+				fmod[lb.I]++
+			}
+		}
+	}
+
+	// Per owned diagonal block: how many contributions remain before x(K)
+	// can be solved — one per remote contributing process plus one if this
+	// rank contributes locally.
+	remaining := make(map[int]int)
+	expect := 0 // messages this rank will receive (lsum + xsol)
+	for k := 0; k < ns; k++ {
+		if w.owner(k, k) != w.me() {
+			continue
+		}
+		remote := w.lsumContributors(k)
+		remaining[k] = remote
+		expect += remote
+		if fmod[k] > 0 {
+			remaining[k]++
+		}
+	}
+	// x(K) messages: one for every panel K in which this rank owns an L
+	// block but not the diagonal.
+	for j := 0; j < ns; j++ {
+		if len(ownedLAt[j]) > 0 && w.owner(j, j) != w.me() {
+			expect++
+		}
+	}
+
+	lsum := make(map[int][]float64)
+	xs := make(map[int][]float64)
+
+	addSum := func(i int, local []float64) {
+		s := lsum[i]
+		if s == nil {
+			s = make([]float64, w.st.SupWidth(i))
+			lsum[i] = s
+		}
+		for q := range local {
+			s[q] += local[q]
+		}
+	}
+
+	var solveK func(k int)
+	var applyX func(j int, x []float64)
+
+	flushRow := func(i int) {
+		// All local contributions to row i are in: route the partial sum.
+		dst := w.owner(i, i)
+		if dst == w.me() {
+			remaining[i]--
+			if remaining[i] == 0 {
+				solveK(i)
+			}
+			return
+		}
+		s := lsum[i]
+		if s == nil {
+			s = make([]float64, w.st.SupWidth(i))
+		}
+		w.r.Send(dst, tagOf(tagLSum, i), s, 8*len(s))
+	}
+
+	solveK = func(k int) {
+		lo, hi := w.st.SupCols(k)
+		x := make([]float64, hi-lo)
+		for q := range x {
+			x[q] = b[lo+q]
+		}
+		if s := lsum[k]; s != nil {
+			for q := range x {
+				x[q] -= s[q]
+			}
+		}
+		w.r.Compute(w.blocks[k*ns+k].ForwardSolveDiag(x))
+		xs[k] = x
+		// Broadcast x(K) down the process column to L(I,K) owners.
+		sent := make(map[int]bool)
+		for _, lb := range w.st.LBlocks[k] {
+			dst := w.owner(lb.I, k)
+			if dst != w.me() && !sent[dst] {
+				sent[dst] = true
+				w.r.Send(dst, tagOf(tagXSol, k), x, 8*len(x))
+			}
+		}
+		applyX(k, x)
+	}
+
+	applyX = func(j int, x []float64) {
+		jLo, _ := w.st.SupCols(j)
+		for _, lc := range ownedLAt[j] {
+			local := make([]float64, w.st.SupWidth(lc.i))
+			lo, _ := w.st.SupCols(lc.i)
+			w.r.Compute(lc.blk.MatVecInto(func(r int, v float64) {
+				local[r-lo] += v
+			}, x, jLo))
+			addSum(lc.i, local)
+			fmod[lc.i]--
+			if fmod[lc.i] == 0 {
+				flushRow(lc.i)
+			}
+		}
+	}
+
+	// Kick off: solvable diagonals with no pending contributions. The
+	// xs-guard matters: a solveK cascade (via flushRow) may already have
+	// solved a later supernode.
+	for k := 0; k < ns; k++ {
+		if w.owner(k, k) == w.me() && remaining[k] == 0 && xs[k] == nil {
+			solveK(k)
+		}
+	}
+	// Message-driven main loop (the paper's "while I have more work" with
+	// receives of type LSUM and XSOL).
+	for got := 0; got < expect; got++ {
+		_, tag, payload := w.r.RecvAny()
+		k := tag / numTags
+		switch tag % numTags {
+		case tagLSum:
+			addSum(k, payload.([]float64))
+			remaining[k]--
+			if remaining[k] == 0 {
+				solveK(k)
+			}
+		case tagXSol:
+			applyX(k, payload.([]float64))
+		default:
+			panic("dist: unexpected message in lower solve")
+		}
+	}
+	return xs
+}
+
+type lContrib struct {
+	i   int
+	blk *Block
+}
+
+// lsumContributors counts the remote processes that send partial sums for
+// x(K) to its diagonal owner.
+func (w *worker) lsumContributors(k int) int {
+	diagOwner := w.owner(k, k)
+	procs := make(map[int]bool)
+	for _, j := range w.st.RowL[k] {
+		if o := w.owner(k, j); o != diagOwner {
+			procs[o] = true
+		}
+	}
+	return len(procs)
+}
+
+// upperSolve computes x = U⁻¹·y where y(K) sits with the diagonal owners
+// (as produced by lowerSolve). The result is returned the same way.
+func (w *worker) upperSolve(ys map[int][]float64) map[int][]float64 {
+	ns := w.st.N
+
+	// ownedUAt[j] lists this rank's U blocks (K, J=j): after x(J) is
+	// known, each contributes U(K,J)·x(J) to row K's pending sum.
+	ownedUAt := make(map[int][]*lContrib)
+	bmod := make(map[int]int)
+	for k := 0; k < ns; k++ {
+		for bi := range w.st.UBlocks[k] {
+			ub := &w.st.UBlocks[k][bi]
+			if w.owner(k, ub.J) == w.me() {
+				ownedUAt[ub.J] = append(ownedUAt[ub.J], &lContrib{i: k, blk: w.blocks[k*ns+ub.J]})
+				bmod[k]++
+			}
+		}
+	}
+
+	remaining := make(map[int]int)
+	expect := 0
+	for k := 0; k < ns; k++ {
+		if w.owner(k, k) != w.me() {
+			continue
+		}
+		remote := w.bsumContributors(k)
+		remaining[k] = remote
+		expect += remote
+		if bmod[k] > 0 {
+			remaining[k]++
+		}
+	}
+	for j := 0; j < ns; j++ {
+		if len(ownedUAt[j]) > 0 && w.owner(j, j) != w.me() {
+			expect++
+		}
+	}
+
+	bsum := make(map[int][]float64)
+	xs := make(map[int][]float64)
+
+	addSum := func(i int, local []float64) {
+		s := bsum[i]
+		if s == nil {
+			s = make([]float64, w.st.SupWidth(i))
+			bsum[i] = s
+		}
+		for q := range local {
+			s[q] += local[q]
+		}
+	}
+
+	var solveK func(k int)
+	var applyX func(j int, x []float64)
+
+	flushRow := func(i int) {
+		dst := w.owner(i, i)
+		if dst == w.me() {
+			remaining[i]--
+			if remaining[i] == 0 {
+				solveK(i)
+			}
+			return
+		}
+		s := bsum[i]
+		if s == nil {
+			s = make([]float64, w.st.SupWidth(i))
+		}
+		w.r.Send(dst, tagOf(tagLSum, i), s, 8*len(s))
+	}
+
+	solveK = func(k int) {
+		x := append([]float64(nil), ys[k]...)
+		if s := bsum[k]; s != nil {
+			for q := range x {
+				x[q] -= s[q]
+			}
+		}
+		w.r.Compute(w.blocks[k*ns+k].BackSolveDiag(x))
+		xs[k] = x
+		// Broadcast x(K) up the process column to U(I,K) owners.
+		sent := make(map[int]bool)
+		for _, up := range w.uOwnersOfCol(k) {
+			if up != w.me() && !sent[up] {
+				sent[up] = true
+				w.r.Send(up, tagOf(tagXSol, k), x, 8*len(x))
+			}
+		}
+		applyX(k, x)
+	}
+
+	applyX = func(j int, x []float64) {
+		jLo, _ := w.st.SupCols(j)
+		for _, uc := range ownedUAt[j] {
+			local := make([]float64, w.st.SupWidth(uc.i))
+			lo, _ := w.st.SupCols(uc.i)
+			w.r.Compute(uc.blk.MatVecInto(func(r int, v float64) {
+				local[r-lo] += v
+			}, x, jLo))
+			addSum(uc.i, local)
+			bmod[uc.i]--
+			if bmod[uc.i] == 0 {
+				flushRow(uc.i)
+			}
+		}
+	}
+
+	for k := ns - 1; k >= 0; k-- {
+		if w.owner(k, k) == w.me() && remaining[k] == 0 && xs[k] == nil {
+			solveK(k)
+		}
+	}
+	for got := 0; got < expect; got++ {
+		_, tag, payload := w.r.RecvAny()
+		k := tag / numTags
+		switch tag % numTags {
+		case tagLSum:
+			addSum(k, payload.([]float64))
+			remaining[k]--
+			if remaining[k] == 0 {
+				solveK(k)
+			}
+		case tagXSol:
+			applyX(k, payload.([]float64))
+		default:
+			panic("dist: unexpected message in upper solve")
+		}
+	}
+	return xs
+}
+
+// bsumContributors counts remote processes sending partial sums for the
+// upper solve of x(K).
+func (w *worker) bsumContributors(k int) int {
+	diagOwner := w.owner(k, k)
+	procs := make(map[int]bool)
+	for _, ub := range w.st.UBlocks[k] {
+		if o := w.owner(k, ub.J); o != diagOwner {
+			procs[o] = true
+		}
+	}
+	return len(procs)
+}
+
+// uOwnersOfCol lists the owners of U blocks in block column K (the
+// destinations of x(K) in the upper solve), deterministically ordered.
+func (w *worker) uOwnersOfCol(k int) []int {
+	var owners []int
+	for _, kk := range w.st.ColU[k] {
+		owners = append(owners, w.owner(kk, k))
+	}
+	return owners
+}
+
+// gatherX assembles the distributed solution at rank 0.
+func (w *worker) gatherX(xs map[int][]float64, out []float64) {
+	ns := w.st.N
+	if w.me() == 0 {
+		for k := 0; k < ns; k++ {
+			lo, hi := w.st.SupCols(k)
+			var x []float64
+			if w.owner(k, k) == 0 {
+				x = xs[k]
+			} else {
+				x = w.r.Recv(w.owner(k, k), tagOf(tagGather, k)).([]float64)
+			}
+			copy(out[lo:hi], x)
+		}
+		return
+	}
+	for k := 0; k < ns; k++ {
+		if w.owner(k, k) == w.me() {
+			w.r.Send(0, tagOf(tagGather, k), xs[k], 8*len(xs[k]))
+		}
+	}
+}

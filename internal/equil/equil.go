@@ -1,0 +1,100 @@
+// Package equil implements row/column equilibration of sparse matrices in
+// the style of the LAPACK routine DGEEQU, step (1) of the GESP algorithm:
+// diagonal scalings Dr and Dc are chosen so that every row and column of
+// Dr*A*Dc has largest entry equal to 1 in magnitude.
+package equil
+
+import (
+	"fmt"
+	"math"
+
+	"gesp/internal/sparse"
+)
+
+// Result holds the scalings computed by Equilibrate and the diagnostics
+// DGEEQU reports.
+type Result struct {
+	// R and C are the row and column scale factors: apply as Dr*A*Dc with
+	// Dr = diag(R), Dc = diag(C).
+	R, C []float64
+	// RowCond is min_i(rowmax_i) / max_i(rowmax_i) before scaling; values
+	// near 1 mean row scaling is unnecessary.
+	RowCond float64
+	// ColCond is the analogous ratio for the columns of Dr*A.
+	ColCond float64
+	// AMax is the largest entry magnitude of the original matrix.
+	AMax float64
+}
+
+// Equilibrate computes DGEEQU-style scale factors for a square sparse
+// matrix. It fails if the matrix has an exactly zero row or column, since
+// such a matrix is singular and no static pivoting can repair it.
+func Equilibrate(a *sparse.CSC) (*Result, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("equil: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	rowMax := make([]float64, n)
+	for k, i := range a.RowInd {
+		if v := math.Abs(a.Val[k]); v > rowMax[i] {
+			rowMax[i] = v
+		}
+	}
+	res := &Result{R: make([]float64, n), C: make([]float64, n)}
+	lo, hi := math.Inf(1), 0.0
+	for i, m := range rowMax {
+		if m == 0 {
+			return nil, fmt.Errorf("equil: row %d is exactly zero", i)
+		}
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+		res.R[i] = 1 / m
+		if m > res.AMax {
+			res.AMax = m
+		}
+	}
+	if n > 0 {
+		res.RowCond = lo / hi
+	}
+	colMax := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if v := math.Abs(a.Val[k]) * res.R[a.RowInd[k]]; v > colMax[j] {
+				colMax[j] = v
+			}
+		}
+	}
+	lo, hi = math.Inf(1), 0.0
+	for j, m := range colMax {
+		if m == 0 {
+			return nil, fmt.Errorf("equil: column %d is exactly zero", j)
+		}
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+		res.C[j] = 1 / m
+	}
+	if n > 0 {
+		res.ColCond = lo / hi
+	}
+	return res, nil
+}
+
+// Apply overwrites a with Dr*A*Dc using the scalings in res.
+func (res *Result) Apply(a *sparse.CSC) {
+	a.ScaleRowsCols(res.R, res.C)
+}
+
+// NeedsScaling reports whether either condition ratio is small enough that
+// LAPACK heuristics (threshold 0.1) would recommend applying the scaling.
+func (res *Result) NeedsScaling() bool {
+	const thresh = 0.1
+	return res.RowCond < thresh || res.ColCond < thresh
+}

@@ -1,0 +1,132 @@
+package equil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gesp/internal/sparse"
+)
+
+func TestEquilibrateMakesMaxOne(t *testing.T) {
+	a := sparse.FromDense([][]float64{
+		{1e8, 2, 0},
+		{3, 4e-6, 5},
+		{0, 6, 7e3},
+	})
+	res, err := Equilibrate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Apply(a)
+	// Every row and column maximum must be exactly (within roundoff) 1.
+	d := a.Dense()
+	for i := range d {
+		rm := 0.0
+		for j := range d[i] {
+			if v := math.Abs(d[i][j]); v > rm {
+				rm = v
+			}
+		}
+		if math.Abs(rm-1) > 1e-12 {
+			t.Errorf("row %d max = %g, want 1", i, rm)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		cm := 0.0
+		for i := range d {
+			if v := math.Abs(d[i][j]); v > cm {
+				cm = v
+			}
+		}
+		if cm > 1+1e-12 {
+			t.Errorf("column %d max = %g, want <= 1", j, cm)
+		}
+	}
+	if res.AMax != 1e8 {
+		t.Errorf("AMax = %g, want 1e8", res.AMax)
+	}
+	if !res.NeedsScaling() {
+		t.Error("badly scaled matrix reported as not needing scaling")
+	}
+}
+
+func TestEquilibrateWellScaled(t *testing.T) {
+	a := sparse.FromDense([][]float64{
+		{1, 0.5},
+		{0.5, 1},
+	})
+	res, err := Equilibrate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowCond != 1 || res.ColCond != 1 {
+		t.Errorf("RowCond=%g ColCond=%g, want 1", res.RowCond, res.ColCond)
+	}
+	if res.NeedsScaling() {
+		t.Error("well-scaled matrix reported as needing scaling")
+	}
+}
+
+func TestEquilibrateErrors(t *testing.T) {
+	zeroRow := sparse.FromDense([][]float64{
+		{1, 2},
+		{0, 0},
+	})
+	if _, err := Equilibrate(zeroRow); err == nil {
+		t.Error("zero row accepted")
+	}
+	zeroCol := sparse.FromDense([][]float64{
+		{1, 0},
+		{2, 0},
+	})
+	if _, err := Equilibrate(zeroCol); err == nil {
+		t.Error("zero column accepted")
+	}
+	rect := sparse.NewTriplet(2, 3)
+	rect.Append(0, 0, 1)
+	if _, err := Equilibrate(rect.ToCSC()); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestEquilibrateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		tr := sparse.NewTriplet(n, n)
+		for j := 0; j < n; j++ {
+			// Full diagonal with wildly varying magnitudes.
+			tr.Append(j, j, math.Pow(10, float64(rng.Intn(16)-8)))
+			for r := 0; r < 2; r++ {
+				i := rng.Intn(n)
+				tr.Append(i, j, rng.NormFloat64()*math.Pow(10, float64(rng.Intn(10)-5)))
+			}
+		}
+		a := tr.ToCSC()
+		res, err := Equilibrate(a)
+		if err != nil {
+			return true // zero row/col can occur randomly; not a failure
+		}
+		res.Apply(a)
+		// Property: all entries bounded by 1 + eps, every row max == 1.
+		rowMax := make([]float64, n)
+		for j := 0; j < n; j++ {
+			for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+				v := math.Abs(a.Val[k])
+				if v > 1+1e-9 {
+					return false
+				}
+				if v > rowMax[a.RowInd[k]] {
+					rowMax[a.RowInd[k]] = v
+				}
+			}
+		}
+		_ = rowMax
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,483 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gesp/internal/core"
+	"gesp/internal/dist"
+	"gesp/internal/matgen"
+	"gesp/internal/mpisim"
+	"gesp/internal/ordering"
+	"gesp/internal/sparse"
+)
+
+// DefaultProcs is the processor sweep of the paper's Tables 3 and 4.
+var DefaultProcs = []int{4, 8, 16, 32, 64, 128, 256, 512}
+
+// Table2Row describes one of the eight large parallel test matrices.
+type Table2Row struct {
+	Name     string
+	N        int
+	NnzA     int
+	NnzLU    int
+	Flops    int64
+	StrSym   float64
+	NumSym   float64
+	AvgSuper float64
+}
+
+// Table2 reproduces the paper's Table 2: characteristics of the parallel
+// testbed, including the structural/numeric symmetry fractions.
+func Table2(scale float64) []Table2Row {
+	var rows []Table2Row
+	for _, m := range matgen.ParallelTestbed() {
+		a := m.Generate(scale)
+		sym := sparse.SymmetryOf(a)
+		s, err := core.NewAnalysis(a, core.DefaultOptions())
+		row := Table2Row{
+			Name: m.Name, N: a.Rows, NnzA: a.Nnz(),
+			StrSym: sym.Str, NumSym: sym.Num,
+		}
+		if err == nil {
+			st := s.Stats()
+			row.NnzLU = st.NnzLU
+			row.Flops = st.Flops
+			row.AvgSuper = st.AvgSuper
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintTable2 renders Table 2.
+func PrintTable2(w io.Writer, scale float64) {
+	fmt.Fprintf(w, "Table 2: characteristics of the parallel test matrices (scale=%.2f)\n", scale)
+	fmt.Fprintf(w, "%-10s %8s %10s %12s %12s %7s %7s %8s\n",
+		"Matrix", "n", "nnz(A)", "nnz(L+U)", "flops", "StrSym", "NumSym", "avgSup")
+	for _, r := range Table2(scale) {
+		fmt.Fprintf(w, "%-10s %8d %10d %12d %12d %7.2f %7.2f %8.1f\n",
+			r.Name, r.N, r.NnzA, r.NnzLU, r.Flops, r.StrSym, r.NumSym, r.AvgSuper)
+	}
+}
+
+// ScalingCell is one (matrix, P) measurement of the distributed runs.
+type ScalingCell struct {
+	Procs        int
+	FactorTime   float64 // simulated seconds (Table 3)
+	FactorMflops float64
+	SolveTime    float64 // simulated seconds (Table 4)
+	SolveMflops  float64
+	LoadBalance  float64 // Table 5 (factor phase)
+	SolveBalance float64
+	FactorComm   float64 // Table 5: fraction of time in communication
+	SolveComm    float64
+	Messages     int64
+	Err          float64
+}
+
+// ScalingRow is the processor sweep for one matrix.
+type ScalingRow struct {
+	Name     string
+	N        int
+	AvgSuper float64
+	Cells    []ScalingCell
+}
+
+// Progress, when non-nil, receives one line per completed configuration
+// (cmd/gesp-bench points it at stderr so long sweeps are observable).
+var Progress func(format string, args ...any)
+
+func progress(format string, args ...any) {
+	if Progress != nil {
+		Progress(format, args...)
+	}
+}
+
+// RunScaling runs the distributed factorization and solves for the
+// parallel testbed over the processor sweep; it backs Tables 3, 4 and 5.
+func RunScaling(scale float64, procs []int, pipeline, prune bool) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, m := range matgen.ParallelTestbed() {
+		a := m.Generate(scale)
+		s, err := core.NewAnalysis(a, core.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		progress("%s: n=%d nnz(L+U)=%d flops=%.3g", m.Name, a.Rows, s.Stats().NnzLU, float64(s.Stats().Flops))
+		b := matgen.OnesRHS(a)
+		ones := make([]float64, a.Rows)
+		for i := range ones {
+			ones[i] = 1
+		}
+		row := ScalingRow{Name: m.Name, N: a.Rows, AvgSuper: s.Stats().AvgSuper}
+		for _, p := range procs {
+			x, res, err := s.DistSolve(b, dist.Options{
+				Procs: p, Pipeline: pipeline, EDAGPrune: prune, ReplaceTinyPivot: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s P=%d: %w", m.Name, p, err)
+			}
+			progress("  %s P=%d: factor %.3fs solve %.4fs (simulated)", m.Name, p, res.Factor.SimTime, res.Solve.SimTime)
+			row.Cells = append(row.Cells, ScalingCell{
+				Procs:        p,
+				FactorTime:   res.Factor.SimTime,
+				FactorMflops: res.Factor.Mflops,
+				SolveTime:    res.Solve.SimTime,
+				SolveMflops:  res.Solve.Mflops,
+				LoadBalance:  res.Factor.LoadBalance,
+				SolveBalance: res.Solve.LoadBalance,
+				FactorComm:   res.Factor.CommFraction,
+				SolveComm:    res.Solve.CommFraction,
+				Messages:     res.Factor.Messages,
+				Err:          sparse.RelErrInf(x, ones),
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders factorization time and peak Mflop rate per matrix.
+func PrintTable3(w io.Writer, rows []ScalingRow, procs []int) {
+	fmt.Fprintln(w, "Table 3: LU factorization, simulated seconds on the modelled T3E-900")
+	fmt.Fprintf(w, "%-10s", "Matrix")
+	for _, p := range procs {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("P=%d", p))
+	}
+	fmt.Fprintf(w, " %10s\n", "Mflops@max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Name)
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, " %9.3f", c.FactorTime)
+		}
+		fmt.Fprintf(w, " %10.0f\n", r.Cells[len(r.Cells)-1].FactorMflops)
+	}
+}
+
+// PrintTable4 renders the triangular solve sweep.
+func PrintTable4(w io.Writer, rows []ScalingRow, procs []int) {
+	fmt.Fprintln(w, "Table 4: triangular solves, simulated seconds (paper: flattens beyond 64 PEs)")
+	fmt.Fprintf(w, "%-10s", "Matrix")
+	for _, p := range procs {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("P=%d", p))
+	}
+	fmt.Fprintf(w, " %10s\n", "Mflops@max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Name)
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, " %9.4f", c.SolveTime)
+		}
+		fmt.Fprintf(w, " %10.1f\n", r.Cells[len(r.Cells)-1].SolveMflops)
+	}
+}
+
+// Table5At extracts the load-balance/communication table at one processor
+// count (the paper uses 64). If p is not in the sweep, the largest swept
+// count not exceeding p is used (falling back to the first entry), so the
+// table is never silently empty.
+func Table5At(rows []ScalingRow, procs []int, p int) []ScalingRow {
+	if len(procs) == 0 || len(rows) == 0 {
+		return nil
+	}
+	idx := 0
+	for i, pp := range procs {
+		if pp <= p {
+			idx = i
+		}
+		if pp == p {
+			break
+		}
+	}
+	out := make([]ScalingRow, len(rows))
+	for i, r := range rows {
+		out[i] = ScalingRow{Name: r.Name, N: r.N, AvgSuper: r.AvgSuper, Cells: []ScalingCell{r.Cells[idx]}}
+	}
+	return out
+}
+
+// PrintTable5 renders load balance and communication fractions.
+func PrintTable5(w io.Writer, rows []ScalingRow, procs []int, p int) {
+	shown := Table5At(rows, procs, p)
+	if len(shown) > 0 && shown[0].Cells[0].Procs != p {
+		fmt.Fprintf(w, "(requested P=%d not in the sweep; showing P=%d)\n", p, shown[0].Cells[0].Procs)
+		p = shown[0].Cells[0].Procs
+	}
+	fmt.Fprintf(w, "Table 5: load balance factor B and %%time in communication on %d PEs\n", p)
+	fmt.Fprintln(w, "(paper: B good except TWOTONE; comm >50% in factor, >95% in solve)")
+	fmt.Fprintf(w, "%-10s %8s %8s %10s %10s %8s\n", "Matrix", "B(fact)", "B(solve)", "comm(fact)", "comm(solve)", "avgSup")
+	for _, r := range shown {
+		c := r.Cells[0]
+		fmt.Fprintf(w, "%-10s %8.2f %8.2f %9.1f%% %9.1f%% %8.1f\n",
+			r.Name, c.LoadBalance, c.SolveBalance, 100*c.FactorComm, 100*c.SolveComm, r.AvgSuper)
+	}
+}
+
+// AblationResult compares a toggled feature on one matrix / processor
+// count.
+type AblationResult struct {
+	Name          string
+	Procs         int
+	BaseMessages  int64
+	OnMessages    int64
+	BaseTime      float64
+	OnTime        float64
+	BaseSolveTime float64
+	OnSolveTime   float64
+}
+
+func runPair(name string, scale float64, procs int, base, on dist.Options) (AblationResult, error) {
+	m, ok := matgen.Lookup(name)
+	if !ok {
+		return AblationResult{}, fmt.Errorf("unknown matrix %s", name)
+	}
+	a := m.Generate(scale)
+	s, err := core.NewAnalysis(a, core.DefaultOptions())
+	if err != nil {
+		return AblationResult{}, err
+	}
+	b := matgen.OnesRHS(a)
+	base.Procs, on.Procs = procs, procs
+	base.ReplaceTinyPivot, on.ReplaceTinyPivot = true, true
+	_, r1, err := s.DistSolve(b, base)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	_, r2, err := s.DistSolve(b, on)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Name: name, Procs: procs,
+		BaseMessages: r1.Factor.Messages, OnMessages: r2.Factor.Messages,
+		BaseTime: r1.Factor.SimTime, OnTime: r2.Factor.SimTime,
+		BaseSolveTime: r1.Solve.SimTime, OnSolveTime: r2.Solve.SimTime,
+	}, nil
+}
+
+// EDAGAblation measures the message reduction from EDAG-pruned
+// communication (paper: 16% fewer messages for AF23560 on 32 PEs).
+func EDAGAblation(name string, scale float64, procs int) (AblationResult, error) {
+	return runPair(name, scale, procs,
+		dist.Options{Pipeline: true},
+		dist.Options{Pipeline: true, EDAGPrune: true})
+}
+
+// PipelineAblation measures the pipelining speedup (paper: 10–40% on 64
+// PEs).
+func PipelineAblation(name string, scale float64, procs int) (AblationResult, error) {
+	return runPair(name, scale, procs,
+		dist.Options{EDAGPrune: true},
+		dist.Options{EDAGPrune: true, Pipeline: true})
+}
+
+// PrintAblation renders one ablation pair.
+func PrintAblation(w io.Writer, label string, r AblationResult) {
+	fmt.Fprintf(w, "%s on %s, P=%d:\n", label, r.Name, r.Procs)
+	fmt.Fprintf(w, "  factor messages : %d -> %d (%.1f%% fewer)\n",
+		r.BaseMessages, r.OnMessages, 100*float64(r.BaseMessages-r.OnMessages)/float64(maxI64(r.BaseMessages, 1)))
+	fmt.Fprintf(w, "  factor sim time : %.4fs -> %.4fs (%.1f%% faster)\n",
+		r.BaseTime, r.OnTime, 100*(r.BaseTime-r.OnTime)/r.BaseTime)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BlockSizeSweep measures factorization time against the maximum block
+// size (the paper found 20–30 best on the T3E and used 24).
+type BlockSizeResult struct {
+	MaxSuper   int
+	FactorTime float64
+	AvgSuper   float64
+}
+
+// BlockSizeAblation sweeps the supernode splitting threshold.
+func BlockSizeAblation(name string, scale float64, procs int, sizes []int) ([]BlockSizeResult, error) {
+	m, ok := matgen.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown matrix %s", name)
+	}
+	a := m.Generate(scale)
+	b := matgen.OnesRHS(a)
+	var out []BlockSizeResult
+	for _, bs := range sizes {
+		opts := core.DefaultOptions()
+		opts.MaxSuper = bs
+		s, err := core.NewAnalysis(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		_, res, err := s.DistSolve(b, dist.Options{
+			Procs: procs, Pipeline: true, EDAGPrune: true, ReplaceTinyPivot: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BlockSizeResult{MaxSuper: bs, FactorTime: res.Factor.SimTime, AvgSuper: s.Stats().AvgSuper})
+	}
+	return out, nil
+}
+
+// OrderingAblationRow compares fill across ordering heuristics.
+type OrderingAblationRow struct {
+	Name  string
+	Fill  map[string]int
+	Flops map[string]int64
+}
+
+// OrderingAblation compares the fill-reducing orderings on a matrix
+// subset (the design decision behind step (2)).
+func OrderingAblation(names []string, scale float64) ([]OrderingAblationRow, error) {
+	methods := []ordering.Method{ordering.MinDegATA, ordering.MinDegAPlusAT, ordering.RCM, ordering.NDATA, ordering.Natural}
+	var rows []OrderingAblationRow
+	for _, name := range names {
+		m, ok := matgen.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown matrix %s", name)
+		}
+		a := m.Generate(scale)
+		row := OrderingAblationRow{Name: name, Fill: map[string]int{}, Flops: map[string]int64{}}
+		for _, mm := range methods {
+			opts := core.DefaultOptions()
+			opts.Ordering = mm
+			s, err := core.NewAnalysis(a, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.Fill[mm.String()] = s.Stats().NnzLU
+			row.Flops[mm.String()] = s.Stats().Flops
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RelaxResult measures supernode amalgamation (paper §5: "uniprocessor
+// performance can be improved by amalgamating small supernodes").
+type RelaxResult struct {
+	Relax      int
+	AvgSuper   float64
+	NumSuper   int
+	FactorTime float64 // simulated, distributed
+}
+
+// RelaxAblation sweeps the amalgamation slack on one matrix.
+func RelaxAblation(name string, scale float64, procs int, relaxes []int) ([]RelaxResult, error) {
+	m, ok := matgen.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown matrix %s", name)
+	}
+	a := m.Generate(scale)
+	b := matgen.OnesRHS(a)
+	var out []RelaxResult
+	for _, rx := range relaxes {
+		opts := core.DefaultOptions()
+		opts.Relax = rx
+		s, err := core.NewAnalysis(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		_, res, err := s.DistSolve(b, dist.Options{
+			Procs: procs, Pipeline: true, EDAGPrune: true, ReplaceTinyPivot: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := s.Stats()
+		out = append(out, RelaxResult{
+			Relax: rx, AvgSuper: st.AvgSuper, NumSuper: st.NumSuper,
+			FactorTime: res.Factor.SimTime,
+		})
+	}
+	return out, nil
+}
+
+// RedistResult compares the 1-D -> 2-D redistribution cost against the
+// factorization (the paper's future-work input interface).
+type RedistResult struct {
+	Name        string
+	RedistTime  float64
+	FactorTime  float64
+	RedistMsgs  int64
+	RedistBytes int64
+}
+
+// RedistAblation measures the redistribution phase on the parallel
+// testbed at one processor count.
+func RedistAblation(scale float64, procs int) ([]RedistResult, error) {
+	var out []RedistResult
+	for _, m := range matgen.ParallelTestbed() {
+		a := m.Generate(scale)
+		s, err := core.NewAnalysis(a, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		ap, sym := s.PermutedMatrix(), s.Symbolic()
+		b := make([]float64, ap.Rows)
+		for i := range b {
+			b[i] = 1
+		}
+		res, redist, err := dist.SolveFrom1D(ap, sym, b, dist.Uniform1D(ap.Rows, procs), dist.Options{
+			Procs: procs, Pipeline: true, EDAGPrune: true, ReplaceTinyPivot: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RedistResult{
+			Name: m.Name, RedistTime: redist.SimTime, FactorTime: res.Factor.SimTime,
+			RedistMsgs: redist.Messages, RedistBytes: redist.Volume,
+		})
+	}
+	return out, nil
+}
+
+// GridShapeResult compares process-grid shapes at a fixed processor
+// count: the paper argues the 2-D block-cyclic layout beats the more
+// natural 1-D decomposition on locality, load balance and volume.
+type GridShapeResult struct {
+	Shape      string
+	FactorTime float64
+	SolveTime  float64
+	Volume     int64
+	Balance    float64
+}
+
+// GridShapeAblation runs 1×P (1-D columns), near-square, and P×1 (1-D
+// rows) grids on one matrix.
+func GridShapeAblation(name string, scale float64, procs int) ([]GridShapeResult, error) {
+	m, ok := matgen.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown matrix %s", name)
+	}
+	a := m.Generate(scale)
+	s, err := core.NewAnalysis(a, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	b := matgen.OnesRHS(a)
+	square := mpisim.NewGrid(procs)
+	shapes := []mpisim.Grid{
+		{PRow: 1, PCol: procs},
+		square,
+		{PRow: procs, PCol: 1},
+	}
+	var out []GridShapeResult
+	for i := range shapes {
+		g := shapes[i]
+		_, res, err := s.DistSolve(b, dist.Options{
+			Procs: procs, Grid: &g, Pipeline: true, EDAGPrune: true, ReplaceTinyPivot: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GridShapeResult{
+			Shape: g.String(), FactorTime: res.Factor.SimTime, SolveTime: res.Solve.SimTime,
+			Volume: res.Factor.Volume, Balance: res.Factor.LoadBalance,
+		})
+	}
+	return out, nil
+}

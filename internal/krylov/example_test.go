@@ -1,0 +1,33 @@
+package krylov_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gesp/internal/krylov"
+	"gesp/internal/matgen"
+	"gesp/internal/sparse"
+)
+
+// Example solves a convection-diffusion system with ILU(0)-preconditioned
+// GMRES and reports the iteration count.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	a := matgen.ConvectionDiffusion2D(20, 20, 1.0, 0.5, rng)
+	want := make([]float64, a.Rows)
+	for i := range want {
+		want[i] = 1
+	}
+	b := make([]float64, a.Rows)
+	a.MatVec(b, want)
+
+	prec, err := krylov.NewILU0(a)
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, a.Rows)
+	_, st := krylov.GMRES(a, prec, x, b, krylov.Options{Tol: 1e-10})
+	fmt.Printf("converged=%v accurate=%v\n", st.Converged, sparse.RelErrInf(x, want) < 1e-8)
+	// Output:
+	// converged=true accurate=true
+}

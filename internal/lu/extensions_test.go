@@ -1,0 +1,199 @@
+package lu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+// arrowToDense builds a matrix whose fill produces a genuinely dense
+// trailing block: a banded head plus a dense coupling tail.
+func arrowToDense(rng *rand.Rand, n, tail int) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		t.Append(i, i, 6+rng.Float64())
+		if i+1 < n {
+			t.Append(i+1, i, rng.NormFloat64()*0.5)
+			t.Append(i, i+1, rng.NormFloat64()*0.5)
+		}
+	}
+	for i := n - tail; i < n; i++ {
+		for j := n - tail; j < n; j++ {
+			if i != j {
+				t.Append(i, j, rng.NormFloat64()*0.3)
+			}
+		}
+		// Couple the tail to the head so elimination order matters.
+		t.Append(i, i%(n-tail), rng.NormFloat64()*0.2)
+		t.Append(i%(n-tail), i, rng.NormFloat64()*0.2)
+	}
+	return t.ToCSC()
+}
+
+func TestDenseTailMatchesSparseFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 10; trial++ {
+		n := 60 + rng.Intn(60)
+		a := arrowToDense(rng, n, 12+rng.Intn(10))
+		sym, err := symbolic.Factorize(a, symbolic.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fSparse, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fTail, tail, err := FactorizeDenseTail(a, sym, Options{ReplaceTinyPivot: true}, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tail >= n {
+			t.Fatalf("trial %d: dense tail never triggered (n=%d)", trial, n)
+		}
+		// Factor values must agree to round-off.
+		scale := a.MaxAbs()
+		for q := range fSparse.LVal {
+			if d := math.Abs(fSparse.LVal[q] - fTail.LVal[q]); d > 1e-9*scale {
+				t.Fatalf("trial %d: L values diverge by %g at %d", trial, d, q)
+			}
+		}
+		for p := range fSparse.UVal {
+			if d := math.Abs(fSparse.UVal[p] - fTail.UVal[p]); d > 1e-9*scale {
+				t.Fatalf("trial %d: U values diverge by %g at %d", trial, d, p)
+			}
+		}
+		// And the solve must work.
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MatVec(b, want)
+		fTail.Solve(b)
+		if e := sparse.RelErrInf(b, want); e > 1e-8 {
+			t.Fatalf("trial %d: dense-tail solve error %g", trial, e)
+		}
+	}
+}
+
+func TestDenseTailNeverTriggersOnSparse(t *testing.T) {
+	// A tridiagonal system stays sparse: the switch must not trigger at a
+	// high threshold.
+	n := 200
+	tr := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Append(i, i, 3)
+		if i+1 < n {
+			tr.Append(i+1, i, -1)
+			tr.Append(i, i+1, -1)
+		}
+	}
+	a := tr.ToCSC()
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	_, tail, err := FactorizeDenseTail(a, sym, Options{}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tridiagonal trailing block of size m has 3m-2 entries; density
+	// 0.9 only holds for m < 4, below the minimum block size.
+	if tail != n {
+		t.Errorf("dense tail triggered at %d on a tridiagonal matrix", tail)
+	}
+}
+
+func TestDenseTailZeroPivotPolicy(t *testing.T) {
+	a := sparse.FromDense([][]float64{
+		{0, 1, 1, 1},
+		{1, 0, 1, 1},
+		{1, 1, 0.5, 1},
+		{1, 1, 1, 0.5},
+	})
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	if _, _, err := FactorizeDenseTail(a, sym, Options{}, 0.5); err == nil {
+		t.Error("zero pivot accepted with replacement off")
+	}
+	f, _, err := FactorizeDenseTail(a, sym, Options{ReplaceTinyPivot: true}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TinyPivots == 0 {
+		t.Error("no tiny pivots recorded")
+	}
+}
+
+func TestLevelScheduleStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	a := randomSolvable(rng, 120, 0.04)
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := f.NewLevelSchedule()
+	fwd, bwd := ls.NumLevels()
+	if fwd <= 0 || bwd <= 0 {
+		t.Fatal("empty level schedule")
+	}
+	// Every column appears exactly once per schedule.
+	seen := make([]bool, sym.N)
+	for _, lvl := range ls.LLevels {
+		for _, j := range lvl {
+			if seen[j] {
+				t.Fatalf("column %d scheduled twice (forward)", j)
+			}
+			seen[j] = true
+		}
+	}
+	for j, s := range seen {
+		if !s {
+			t.Fatalf("column %d missing from forward schedule", j)
+		}
+	}
+	// Dependencies must respect levels: L(i,j) != 0 => level(i) > level(j).
+	level := make([]int, sym.N)
+	for d, lvl := range ls.LLevels {
+		for _, j := range lvl {
+			level[j] = d
+		}
+	}
+	for j := 0; j < sym.N; j++ {
+		for q := sym.LPtr[j]; q < sym.LPtr[j+1]; q++ {
+			if level[sym.LInd[q]] <= level[j] {
+				t.Fatalf("forward level order violated: L(%d,%d)", sym.LInd[q], j)
+			}
+		}
+	}
+	t.Logf("n=%d: %d forward levels, %d backward levels", sym.N, fwd, bwd)
+}
+
+func TestParallelSolveMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 8; trial++ {
+		n := 80 + rng.Intn(120)
+		a := randomSolvable(rng, n, 0.05)
+		sym, _ := symbolic.Factorize(a, symbolic.Options{})
+		f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := f.NewLevelSchedule()
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		serial := append([]float64(nil), b...)
+		f.Solve(serial)
+		for _, workers := range []int{1, 2, 4, 8} {
+			par := append([]float64(nil), b...)
+			f.ParallelSolve(ls, par, workers)
+			for i := range par {
+				if d := math.Abs(par[i] - serial[i]); d > 1e-12*(math.Abs(serial[i])+1) {
+					t.Fatalf("trial %d workers=%d: mismatch at %d: %g vs %g", trial, workers, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+}

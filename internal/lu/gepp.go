@@ -1,0 +1,240 @@
+package lu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+// ErrSingular is returned by GEPP when a whole pivot column is zero.
+var ErrSingular = errors.New("lu: matrix is numerically singular")
+
+// GEPPFactors is a partial-pivoting factorization Pr·A = L·U produced by
+// the Gilbert–Peierls algorithm. It serves as the paper's accuracy
+// baseline ("GEPP as implemented in SuperLU") in Figure 4.
+type GEPPFactors struct {
+	*Factors
+	// RowPerm maps original row index to pivot position: row i of A is row
+	// RowPerm[i] of L·U.
+	RowPerm []int
+}
+
+// GEPP factors a with partial pivoting and dynamic symbolic structure
+// (depth-first reachability per column). Unlike GESP, the fill pattern
+// depends on the numeric pivot choices and cannot be predicted statically
+// — which is exactly the property that motivates static pivoting on
+// distributed machines.
+func GEPP(a *sparse.CSC) (*GEPPFactors, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("lu: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	// Dynamic L in original row indices: per-column slices.
+	lRows := make([][]int, n) // includes the pivot row as first entry
+	lVals := make([][]float64, n)
+	uRows := make([][]int, n) // pivot positions k < j
+	uVals := make([][]float64, n)
+	uDiag := make([]float64, n)
+	pinv := make([]int, n) // original row -> pivot position, -1 while free
+	for i := range pinv {
+		pinv[i] = -1
+	}
+
+	x := make([]float64, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	stack := make([]int, 0, 64)
+	frame := make([]int, 0, 64)
+	topo := make([]int, 0, 64) // reach set in reverse topological order
+
+	colAMax := make([]float64, n)
+
+	for j := 0; j < n; j++ {
+		// Symbolic: depth-first reach of pattern(A(:,j)) through pivotal
+		// rows; topo collects nodes in post-order (dependencies last).
+		topo = topo[:0]
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			root := a.RowInd[k]
+			if mark[root] == j {
+				continue
+			}
+			mark[root] = j
+			stack = append(stack[:0], root)
+			frame = append(frame[:0], 0)
+			for len(stack) > 0 {
+				top := len(stack) - 1
+				node := stack[top]
+				adj := []int(nil)
+				if kp := pinv[node]; kp >= 0 {
+					adj = lRows[kp]
+				}
+				cur := frame[top]
+				advanced := false
+				for ; cur < len(adj); cur++ {
+					i := adj[cur]
+					if i == node || mark[i] == j {
+						continue
+					}
+					mark[i] = j
+					frame[top] = cur + 1
+					stack = append(stack, i)
+					frame = append(frame, 0)
+					advanced = true
+					break
+				}
+				if !advanced {
+					topo = append(topo, node)
+					stack = stack[:top]
+					frame = frame[:top]
+				}
+			}
+		}
+
+		// Numeric: scatter and eliminate in topological order (post-order
+		// reversed: dependencies of a node finish before it, so walk topo
+		// from the end).
+		cmax := 0.0
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			x[a.RowInd[k]] = a.Val[k]
+			if v := math.Abs(a.Val[k]); v > cmax {
+				cmax = v
+			}
+		}
+		colAMax[j] = cmax
+		for p := len(topo) - 1; p >= 0; p-- {
+			i := topo[p]
+			k := pinv[i]
+			if k < 0 {
+				continue
+			}
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			rows, vals := lRows[k], lVals[k]
+			for q := 1; q < len(rows); q++ { // entry 0 is the pivot row
+				x[rows[q]] -= vals[q] * xi
+			}
+		}
+
+		// Partial pivoting over the free rows of the reach set.
+		piv, ipiv := 0.0, -1
+		for _, i := range topo {
+			if pinv[i] < 0 {
+				if v := math.Abs(x[i]); v > piv {
+					piv, ipiv = v, i
+				}
+			}
+		}
+		if ipiv == -1 || piv == 0 {
+			return nil, fmt.Errorf("lu: column %d: %w", j, ErrSingular)
+		}
+		pinv[ipiv] = j
+		pv := x[ipiv]
+		uDiag[j] = pv
+
+		// Store U (pivotal rows) and L (free rows, scaled), then clear.
+		for _, i := range topo {
+			if k := pinv[i]; k >= 0 && k < j {
+				if x[i] != 0 {
+					uRows[j] = append(uRows[j], k)
+					uVals[j] = append(uVals[j], x[i])
+				}
+			} else if i != ipiv {
+				if x[i] != 0 {
+					lRows[j] = append(lRows[j], i)
+					lVals[j] = append(lVals[j], x[i]/pv)
+				}
+			}
+			x[i] = 0
+		}
+		// Prepend the pivot row marker expected by the DFS adjacency.
+		lRows[j] = append([]int{ipiv}, lRows[j]...)
+		lVals[j] = append([]float64{1}, lVals[j]...)
+	}
+
+	// Re-express in pivot-position coordinates as a static Factors value so
+	// the common solve and refinement machinery applies unchanged.
+	sym := &symbolic.Result{
+		N:      n,
+		LPtr:   make([]int, n+1),
+		UPtr:   make([]int, n+1),
+		Parent: make([]int, n),
+	}
+	f := &GEPPFactors{
+		Factors: &Factors{Sym: sym, ColAMax: colAMax},
+		RowPerm: pinv,
+	}
+	buf := make([]entryIV, 0, 64)
+	for j := 0; j < n; j++ {
+		buf = buf[:0]
+		rows, vals := lRows[j], lVals[j]
+		for q := 1; q < len(rows); q++ {
+			buf = append(buf, entryIV{pinv[rows[q]], vals[q]})
+		}
+		sortIV(buf)
+		for _, e := range buf {
+			sym.LInd = append(sym.LInd, e.i)
+			f.LVal = append(f.LVal, e.v)
+		}
+		sym.LPtr[j+1] = len(sym.LInd)
+
+		buf = buf[:0]
+		for q := range uRows[j] {
+			buf = append(buf, entryIV{uRows[j][q], uVals[j][q]})
+		}
+		sortIV(buf)
+		for _, e := range buf {
+			sym.UInd = append(sym.UInd, e.i)
+			f.UVal = append(f.UVal, e.v)
+		}
+		sym.UInd = append(sym.UInd, j)
+		f.UVal = append(f.UVal, uDiag[j])
+		sym.UPtr[j+1] = len(sym.UInd)
+
+		if sym.LPtr[j+1] > sym.LPtr[j] {
+			sym.Parent[j] = sym.LInd[sym.LPtr[j]]
+		} else {
+			sym.Parent[j] = -1
+		}
+	}
+	sym.SupPtr = make([]int, n+1)
+	sym.SupOf = make([]int, n)
+	for j := 0; j <= n; j++ {
+		sym.SupPtr[j] = j
+	}
+	for j := 0; j < n; j++ {
+		sym.SupOf[j] = j
+	}
+	return f, nil
+}
+
+type entryIV struct {
+	i int
+	v float64
+}
+
+func sortIV(s []entryIV) {
+	for a := 1; a < len(s); a++ {
+		e := s[a]
+		b := a - 1
+		for b >= 0 && s[b].i > e.i {
+			s[b+1] = s[b]
+			b--
+		}
+		s[b+1] = e
+	}
+}
+
+// SolvePerm solves A·x = b given GEPP factors: it permutes b by RowPerm,
+// runs the triangular solves, and returns x in the original unknown order.
+func (f *GEPPFactors) SolvePerm(b []float64) []float64 {
+	x := sparse.PermuteVec(f.RowPerm, b)
+	f.Solve(x)
+	return x
+}

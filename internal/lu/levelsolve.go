@@ -1,0 +1,180 @@
+package lu
+
+import (
+	"sync"
+)
+
+// Level-scheduled triangular solves: the paper's §5 points at graph
+// coloring / level scheduling (Jones & Plassmann) to expose parallelism
+// in the triangular solves. The dependency graph of the forward solve is
+// the column elimination DAG of L: x(j) may be computed once every x(k)
+// with L(j,k) != 0 is done. Grouping columns by longest-path depth
+// ("levels") makes every column within a level independent, so a level
+// can be solved by parallel workers with one barrier per level.
+
+// LevelSchedule holds the level decomposition of the L (forward) and U
+// (backward) dependency DAGs.
+type LevelSchedule struct {
+	// LLevels[d] lists the columns at forward-solve depth d.
+	LLevels [][]int
+	// ULevels[d] lists the columns at backward-solve depth d (depth 0 =
+	// column n-1's level, solved first).
+	ULevels [][]int
+}
+
+// NewLevelSchedule computes both level decompositions from the factors'
+// static structure.
+func (f *Factors) NewLevelSchedule() *LevelSchedule {
+	sym := f.Sym
+	n := sym.N
+	ls := &LevelSchedule{}
+
+	// Forward: x(i) depends on x(j) when L(i,j) != 0 (i > j). Level(i) =
+	// 1 + max level over dependencies; computed by propagating along L
+	// columns in ascending order.
+	depth := make([]int, n)
+	maxD := 0
+	for j := 0; j < n; j++ {
+		dj := depth[j]
+		if dj > maxD {
+			maxD = dj
+		}
+		for q := sym.LPtr[j]; q < sym.LPtr[j+1]; q++ {
+			if i := sym.LInd[q]; depth[i] < dj+1 {
+				depth[i] = dj + 1
+			}
+		}
+	}
+	ls.LLevels = make([][]int, maxD+1)
+	for j := 0; j < n; j++ {
+		ls.LLevels[depth[j]] = append(ls.LLevels[depth[j]], j)
+	}
+
+	// Backward: x(k) depends on x(j) when U(k,j) != 0 (k < j). Propagate
+	// in descending column order.
+	for i := range depth {
+		depth[i] = 0
+	}
+	maxD = 0
+	for j := n - 1; j >= 0; j-- {
+		dj := depth[j]
+		if dj > maxD {
+			maxD = dj
+		}
+		hi := sym.UPtr[j+1] - 1 // skip the diagonal
+		for p := sym.UPtr[j]; p < hi; p++ {
+			if k := sym.UInd[p]; depth[k] < dj+1 {
+				depth[k] = dj + 1
+			}
+		}
+	}
+	ls.ULevels = make([][]int, maxD+1)
+	for j := 0; j < n; j++ {
+		ls.ULevels[depth[j]] = append(ls.ULevels[depth[j]], j)
+	}
+	return ls
+}
+
+// NumLevels reports the parallel step counts (forward, backward); the
+// smaller relative to n, the more parallelism level scheduling exposes.
+func (ls *LevelSchedule) NumLevels() (fwd, bwd int) {
+	return len(ls.LLevels), len(ls.ULevels)
+}
+
+// ParallelSolve overwrites x with A⁻¹x using level-scheduled shared-memory
+// parallelism across the given number of workers. Note the scatter
+// direction: the column-oriented data structure makes x(j) push updates
+// to later rows, so within a level each worker owns disjoint target
+// accumulations via per-worker buffers merged at the barrier.
+func (f *Factors) ParallelSolve(ls *LevelSchedule, x []float64, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	sym := f.Sym
+	n := sym.N
+
+	// Forward solve. Per-worker delta buffers avoid write conflicts when
+	// two columns in a level update the same later row; touched-index
+	// lists keep the merge proportional to the work done, not to n.
+	deltas := make([][]float64, workers)
+	touched := make([][]int, workers)
+	for w := range deltas {
+		deltas[w] = make([]float64, n)
+	}
+	runLevel := func(cols []int, body func(w int, j int)) {
+		if len(cols) < 2*workers || workers == 1 {
+			for _, j := range cols {
+				body(0, j)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		chunk := (len(cols) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(cols) {
+				hi = len(cols)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for _, j := range cols[lo:hi] {
+					body(w, j)
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+	merge := func() {
+		for w := range deltas {
+			d := deltas[w]
+			for _, i := range touched[w] {
+				x[i] += d[i]
+				d[i] = 0
+			}
+			touched[w] = touched[w][:0]
+		}
+	}
+
+	for _, cols := range ls.LLevels {
+		runLevel(cols, func(w, j int) {
+			xj := x[j] // finalized: all dependencies are in earlier levels
+			if xj == 0 {
+				return
+			}
+			d := deltas[w]
+			for q := sym.LPtr[j]; q < sym.LPtr[j+1]; q++ {
+				i := sym.LInd[q]
+				if d[i] == 0 {
+					touched[w] = append(touched[w], i)
+				}
+				d[i] -= f.LVal[q] * xj
+			}
+		})
+		merge()
+	}
+
+	for _, cols := range ls.ULevels {
+		runLevel(cols, func(w, j int) {
+			hi := sym.UPtr[j+1] - 1
+			xj := x[j] / f.UVal[hi]
+			x[j] = xj
+			if xj == 0 {
+				return
+			}
+			d := deltas[w]
+			for p := sym.UPtr[j]; p < hi; p++ {
+				k := sym.UInd[p]
+				if d[k] == 0 {
+					touched[w] = append(touched[w], k)
+				}
+				d[k] -= f.UVal[p] * xj
+			}
+		})
+		merge()
+	}
+}

@@ -1,0 +1,317 @@
+package lu
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+func randomSolvable(rng *rand.Rand, n int, density float64) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for j := 0; j < n; j++ {
+		t.Append(j, j, 2+rng.Float64()) // diagonally strong: static pivoting is exact
+		for i := 0; i < n; i++ {
+			if i != j && rng.Float64() < density {
+				t.Append(i, j, rng.NormFloat64()*0.3)
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+// multiplyLU reconstructs L*U densely from factors for verification.
+func multiplyLU(f *Factors) [][]float64 {
+	n := f.Sym.N
+	l := make([][]float64, n)
+	u := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		l[i] = make([]float64, n)
+		u[i] = make([]float64, n)
+		l[i][i] = 1
+	}
+	for j := 0; j < n; j++ {
+		for q := f.Sym.LPtr[j]; q < f.Sym.LPtr[j+1]; q++ {
+			l[f.Sym.LInd[q]][j] = f.LVal[q]
+		}
+		for p := f.Sym.UPtr[j]; p < f.Sym.UPtr[j+1]; p++ {
+			u[f.Sym.UInd[p]][j] = f.UVal[p]
+		}
+	}
+	prod := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		prod[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= j && k <= i; k++ {
+				s += l[i][k] * u[k][j]
+			}
+			prod[i][j] = s
+		}
+	}
+	return prod
+}
+
+func TestGESPReconstructsA(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(25)
+		a := randomSolvable(rng, n, 0.2)
+		sym, err := symbolic.Factorize(a, symbolic.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.TinyPivots != 0 {
+			t.Fatalf("trial %d: diagonally dominant matrix needed %d pivot replacements", trial, f.TinyPivots)
+		}
+		prod := multiplyLU(f)
+		da := a.Dense()
+		scale := a.MaxAbs()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(prod[i][j]-da[i][j]) > 1e-10*scale {
+					t.Fatalf("trial %d: (L·U)(%d,%d) = %g, A = %g", trial, i, j, prod[i][j], da[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGESPSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(40)
+		a := randomSolvable(rng, n, 0.15)
+		sym, err := symbolic.Factorize(a, symbolic.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = 1 // the paper's experimental setup: x_true = ones
+		}
+		b := make([]float64, n)
+		a.MatVec(b, want)
+		f.Solve(b)
+		if err := sparse.RelErrInf(b, want); err > 1e-10 {
+			t.Fatalf("trial %d: relative error %g", trial, err)
+		}
+	}
+}
+
+func TestGESPTransposeSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 25
+	a := randomSolvable(rng, n, 0.2)
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	f, err := Factorize(a, sym, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i%5) - 2
+	}
+	b := make([]float64, n)
+	a.MatTVec(b, want) // b = Aᵀ·want
+	f.SolveT(b)
+	if err := sparse.RelErrInf(b, want); err > 1e-9 {
+		t.Fatalf("transpose solve relative error %g", err)
+	}
+}
+
+func TestGESPZeroPivotFailsWithoutReplacement(t *testing.T) {
+	// Zero diagonal that stays zero: plain no-pivoting must fail, the
+	// static-pivoting fix must succeed — the paper's central claim.
+	a := sparse.FromDense([][]float64{
+		{0, 1, 0},
+		{1, 0, 0},
+		{0, 0, 1},
+	})
+	sym, err := symbolic.Factorize(a, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Factorize(a, sym, Options{}); !errors.Is(err, ErrZeroPivot) {
+		t.Errorf("no replacement: got %v, want ErrZeroPivot", err)
+	}
+	f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatalf("with replacement: %v", err)
+	}
+	if f.TinyPivots == 0 {
+		t.Error("no tiny pivots recorded for zero diagonal")
+	}
+	if len(f.PivotMods) != f.TinyPivots {
+		t.Error("PivotMods length disagrees with TinyPivots")
+	}
+}
+
+func TestGESPAggressiveReplacement(t *testing.T) {
+	a := sparse.FromDense([][]float64{
+		{1e-30, 5, 0},
+		{2, 1, 0},
+		{0, 0, 3},
+	})
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true, Aggressive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TinyPivots != 1 {
+		t.Fatalf("TinyPivots = %d, want 1", f.TinyPivots)
+	}
+	m := f.PivotMods[0]
+	if m.Col != 0 || math.Abs(m.New) != 2 {
+		t.Errorf("aggressive replacement = %+v, want column max magnitude 2 at col 0", m)
+	}
+}
+
+func TestGEPPMatchesDenseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(30)
+		// No diagonal dominance: partial pivoting must still solve it.
+		tr := sparse.NewTriplet(n, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if i == j || rng.Float64() < 0.25 {
+					tr.Append(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		a := tr.ToCSC()
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MatVec(b, want)
+		f, err := GEPP(a)
+		if err != nil {
+			continue // randomly singular: acceptable, skip
+		}
+		got := f.SolvePerm(b)
+		if e := sparse.RelErrInf(got, want); e > 1e-6 {
+			t.Fatalf("trial %d: GEPP relative error %g", trial, e)
+		}
+	}
+}
+
+func TestGEPPPivotsOnLargeEntry(t *testing.T) {
+	// Classic example where no-pivoting is catastrophically unstable but
+	// GEPP is fine.
+	a := sparse.FromDense([][]float64{
+		{1e-16, 1},
+		{1, 1},
+	})
+	b := []float64{1 + 1e-16, 2}
+	want := []float64{1, 1}
+	f, err := GEPP(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.SolvePerm(b)
+	if e := sparse.RelErrInf(got, want); e > 1e-12 {
+		t.Errorf("GEPP error %g on the stability canary", e)
+	}
+	// The first pivot must be row 1 (the entry 1, not 1e-16).
+	if f.RowPerm[1] != 0 {
+		t.Errorf("RowPerm = %v; partial pivoting should pick row 1 first", f.RowPerm)
+	}
+}
+
+func TestGEPPSingular(t *testing.T) {
+	a := sparse.FromDense([][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+		{1, 1, 1},
+	})
+	if _, err := GEPP(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestGEPPRowPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		a := randomSolvable(rng, n, 0.3)
+		fac, err := GEPP(a)
+		if err != nil {
+			return false
+		}
+		return sparse.CheckPerm(fac.RowPerm, n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGESPvsGEPPOnDiagDominant(t *testing.T) {
+	// On a diagonally dominant matrix both must reach near machine
+	// precision and GEPP must not pivot off the diagonal.
+	rng := rand.New(rand.NewSource(47))
+	n := 50
+	a := randomSolvable(rng, n, 0.1)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = 1
+	}
+	b := make([]float64, n)
+	a.MatVec(b, want)
+
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	fs, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := append([]float64(nil), b...)
+	fs.Solve(xs)
+
+	fp, err := GEPP(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp := fp.SolvePerm(b)
+
+	es, ep := sparse.RelErrInf(xs, want), sparse.RelErrInf(xp, want)
+	if es > 1e-12 || ep > 1e-12 {
+		t.Errorf("errors GESP=%g GEPP=%g, want both tiny", es, ep)
+	}
+}
+
+func TestReciprocalPivotGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randomSolvable(rng, 30, 0.2)
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	f, err := Factorize(a, sym, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpg := f.ReciprocalPivotGrowth()
+	if rpg <= 0 || rpg > 1+1e-12 {
+		t.Errorf("reciprocal pivot growth = %g, want in (0,1]", rpg)
+	}
+}
+
+func TestFactorizeDimensionMismatch(t *testing.T) {
+	a := sparse.Identity(3)
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	b := sparse.Identity(4)
+	if _, err := Factorize(b, sym, Options{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

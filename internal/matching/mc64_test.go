@@ -1,0 +1,237 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gesp/internal/sparse"
+)
+
+// bruteMaxProduct finds the assignment maximizing the product of matched
+// magnitudes by exhaustive search, for cross-checking on tiny matrices.
+func bruteMaxProduct(a *sparse.CSC) (best float64, ok bool) {
+	n := a.Rows
+	d := a.Dense()
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best = math.Inf(-1)
+	var rec func(j int, logp float64)
+	rec = func(j int, logp float64) {
+		if j == n {
+			if logp > best {
+				best = logp
+				ok = true
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] && d[i][j] != 0 {
+				used[i] = true
+				perm[j] = i
+				rec(j+1, logp+math.Log(math.Abs(d[i][j])))
+				used[i] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best, ok
+}
+
+func randomMatrix(rng *rand.Rand, n int, density float64, fullDiag bool) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for j := 0; j < n; j++ {
+		if fullDiag {
+			t.Append(j, j, 1+rng.Float64())
+		}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < density {
+				t.Append(i, j, rng.NormFloat64()*math.Pow(10, float64(rng.Intn(8)-4)))
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+func TestMaxProductMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randomMatrix(rng, n, 0.5, trial%2 == 0)
+		want, feasible := bruteMaxProduct(a)
+		res, err := MaxProductMatching(a)
+		if !feasible {
+			if err == nil {
+				t.Fatalf("trial %d: structurally singular matrix accepted", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+		got := 0.0
+		for j := 0; j < n; j++ {
+			got += math.Log(math.Abs(a.At(res.RowOf[j], j)))
+		}
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("trial %d: log product %g, brute force %g", trial, got, want)
+		}
+	}
+}
+
+func TestMaxProductMatchingScalings(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(25)
+		a := randomMatrix(rng, n, 0.3, true)
+		res, err := MaxProductMatching(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := a.Clone()
+		b.ScaleRowsCols(res.Dr, res.Dc)
+		p := b.PermuteRows(res.RowPerm)
+		// Property from the paper: each diagonal entry of Dr*Pr*A*Dc is ±1,
+		// every off-diagonal entry bounded by 1.
+		for j := 0; j < n; j++ {
+			for k := p.ColPtr[j]; k < p.ColPtr[j+1]; k++ {
+				v := math.Abs(p.Val[k])
+				if p.RowInd[k] == j {
+					if math.Abs(v-1) > 1e-8 {
+						t.Fatalf("trial %d: diagonal (%d,%d) = %g, want 1", trial, j, j, v)
+					}
+				} else if v > 1+1e-8 {
+					t.Fatalf("trial %d: off-diagonal (%d,%d) = %g > 1", trial, p.RowInd[k], j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxProductMatchingRowPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := randomMatrix(rng, n, 0.2, true)
+		res, err := MaxProductMatching(a)
+		if err != nil {
+			return false
+		}
+		if sparse.CheckPerm(res.RowPerm, n) != nil {
+			return false
+		}
+		// RowPerm must place matched entries on the diagonal.
+		for j := 0; j < n; j++ {
+			if res.RowPerm[res.RowOf[j]] != j {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxProductMatchingPicksLargeEntries(t *testing.T) {
+	// Column 0: huge entry off-diagonal; matching must prefer it.
+	a := sparse.FromDense([][]float64{
+		{1, 0, 2},
+		{1e6, 1, 0},
+		{0, 3, 1e-3},
+	})
+	res, err := MaxProductMatching(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowOf[0] != 1 {
+		t.Errorf("column 0 matched to row %d, want 1 (the 1e6 entry)", res.RowOf[0])
+	}
+}
+
+func TestMaxProductMatchingSingular(t *testing.T) {
+	// Rows 0 and 1 only touch column 0: no perfect matching.
+	tr := sparse.NewTriplet(3, 3)
+	tr.Append(0, 0, 1)
+	tr.Append(1, 0, 2)
+	tr.Append(2, 1, 3)
+	tr.Append(2, 2, 4)
+	_, err := MaxProductMatching(tr.ToCSC())
+	if !errors.Is(err, ErrStructurallySingular) {
+		t.Errorf("got %v, want ErrStructurallySingular", err)
+	}
+	// Zero column.
+	tr2 := sparse.NewTriplet(2, 2)
+	tr2.Append(0, 0, 1)
+	tr2.Append(1, 0, 1)
+	_, err = MaxProductMatching(tr2.ToCSC())
+	if !errors.Is(err, ErrStructurallySingular) {
+		t.Errorf("zero column: got %v, want ErrStructurallySingular", err)
+	}
+}
+
+func TestMaxProductMatchingIgnoresExplicitZeros(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2)
+	tr.Append(0, 0, 0) // explicit zero must not be matched
+	tr.Append(1, 0, 1)
+	tr.Append(0, 1, 1)
+	tr.Append(1, 1, 5)
+	res, err := MaxProductMatching(tr.ToCSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowOf[0] != 1 || res.RowOf[1] != 0 {
+		t.Errorf("matching used an explicit zero: RowOf = %v", res.RowOf)
+	}
+}
+
+func TestMaxTransversalFull(t *testing.T) {
+	// Zero diagonal but structurally nonsingular.
+	a := sparse.FromDense([][]float64{
+		{0, 1, 0},
+		{1, 0, 0},
+		{0, 1, 1},
+	})
+	rowOf, size := MaxTransversal(a)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	seen := make(map[int]bool)
+	for j, i := range rowOf {
+		if a.At(i, j) == 0 {
+			t.Errorf("column %d matched to zero entry at row %d", j, i)
+		}
+		if seen[i] {
+			t.Errorf("row %d matched twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestMaxTransversalDeficient(t *testing.T) {
+	tr := sparse.NewTriplet(3, 3)
+	tr.Append(0, 0, 1)
+	tr.Append(0, 1, 1)
+	tr.Append(0, 2, 1)
+	tr.Append(1, 0, 1)
+	a := tr.ToCSC()
+	_, size := MaxTransversal(a)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+func TestMaxTransversalMatchesBruteFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randomMatrix(rng, n, 0.4, false)
+		_, size := MaxTransversal(a)
+		_, feasible := bruteMaxProduct(a)
+		if feasible != (size == n) {
+			t.Fatalf("trial %d: transversal size %d/%d but brute feasibility %v", trial, size, n, feasible)
+		}
+	}
+}

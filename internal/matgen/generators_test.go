@@ -1,0 +1,224 @@
+package matgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gesp/internal/sparse"
+)
+
+func TestConvectionDiffusion2DStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := ConvectionDiffusion2D(10, 12, 1.5, 0.5, rng)
+	if a.Rows != 120 {
+		t.Fatalf("n = %d, want 120", a.Rows)
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if z := a.ZeroDiagonals(); z != 0 {
+		t.Errorf("%d zero diagonals, want none", z)
+	}
+	// 5-point stencil: at most 5 entries per column.
+	for j := 0; j < a.Cols; j++ {
+		if d := a.ColPtr[j+1] - a.ColPtr[j]; d > 5 {
+			t.Fatalf("column %d has %d entries", j, d)
+		}
+	}
+	// Structurally symmetric, numerically unsymmetric (convection).
+	s := sparse.SymmetryOf(a)
+	if s.Str != 1 {
+		t.Errorf("StrSym = %g, want 1", s.Str)
+	}
+	if s.Num > 0.5 {
+		t.Errorf("NumSym = %g, want well below 1", s.Num)
+	}
+}
+
+func TestConvectionDiffusion3DStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := ConvectionDiffusion3D(6, 5, 4, 0.5, 1, 1, 10, rng)
+	if a.Rows != 120 {
+		t.Fatalf("n = %d", a.Rows)
+	}
+	for j := 0; j < a.Cols; j++ {
+		if d := a.ColPtr[j+1] - a.ColPtr[j]; d > 7 {
+			t.Fatalf("column %d has %d entries (7-point stencil)", j, d)
+		}
+	}
+}
+
+func TestFEMVector2DSaddleZeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := FEMVector2D(5, 5, 4, 1, rng)
+	if a.Rows != 100 {
+		t.Fatalf("n = %d", a.Rows)
+	}
+	// One saddle unknown per node: 25 zero diagonals.
+	if z := a.ZeroDiagonals(); z != 25 {
+		t.Errorf("%d zero diagonals, want 25", z)
+	}
+	// No saddle: full diagonal.
+	b := FEMVector2D(5, 5, 4, 0, rng)
+	if z := b.ZeroDiagonals(); z != 0 {
+		t.Errorf("%d zero diagonals, want 0", z)
+	}
+}
+
+func TestCircuitSourcesZeroDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Circuit(200, 4, 20, rng)
+	if a.Rows != 220 {
+		t.Fatalf("n = %d, want 220", a.Rows)
+	}
+	if z := a.ZeroDiagonals(); z != 20 {
+		t.Errorf("%d zero diagonals, want 20 (one per source)", z)
+	}
+}
+
+func TestHarmonicBalanceBlockStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := HarmonicBalance(50, 4, 4, rng)
+	if a.Rows != 200 {
+		t.Fatalf("n = %d", a.Rows)
+	}
+	// Couplings only within a harmonic or to the adjacent harmonic:
+	// |block(i) - block(j)| <= 1.
+	for j := 0; j < a.Cols; j++ {
+		bj := j / 50
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			bi := a.RowInd[k] / 50
+			if d := bi - bj; d < -1 || d > 1 {
+				t.Fatalf("coupling across %d harmonics at (%d,%d)", d, a.RowInd[k], j)
+			}
+		}
+	}
+}
+
+func TestChemicalEngScalingSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := ChemicalEng(40, 6, 0.15, rng)
+	lo, hi := math.Inf(1), 0.0
+	for _, v := range a.Val {
+		av := math.Abs(v)
+		if av == 0 {
+			continue
+		}
+		if av < lo {
+			lo = av
+		}
+		if av > hi {
+			hi = av
+		}
+	}
+	if hi/lo < 1e6 {
+		t.Errorf("magnitude spread %g, want >= 1e6", hi/lo)
+	}
+	if a.ZeroDiagonals() == 0 {
+		t.Error("expected some zero diagonals from constraint rows")
+	}
+}
+
+func TestDeviceSimulationGrading(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := DeviceSimulation(10, 10, rng)
+	if a.Rows != 300 {
+		t.Fatalf("n = %d", a.Rows)
+	}
+	// Exponential grading: the largest diagonal should dwarf the smallest.
+	d := a.Diagonal()
+	lo, hi := math.Inf(1), 0.0
+	for _, v := range d {
+		av := math.Abs(v)
+		if av < lo {
+			lo = av
+		}
+		if av > hi {
+			hi = av
+		}
+	}
+	if hi/lo < 50 {
+		t.Errorf("diagonal grading ratio %g, want large", hi/lo)
+	}
+}
+
+func TestPowerNetworkCycleKeepsFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := PowerNetwork(300, 3, 0.2, rng)
+	if a.ZeroDiagonals() == 0 {
+		t.Error("expected zero diagonals")
+	}
+}
+
+func TestWeakDiagonal2DGrowthProne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := WeakDiagonal2D(12, 12, 0.4, rng)
+	// Diagonal magnitudes below off-diagonal magnitudes on average.
+	d := a.Diagonal()
+	var diagSum, offSum float64
+	var offCount int
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if a.RowInd[k] != j {
+				offSum += math.Abs(a.Val[k])
+				offCount++
+			}
+		}
+	}
+	for _, v := range d {
+		diagSum += math.Abs(v)
+	}
+	if diagSum/float64(len(d)) >= offSum/float64(offCount) {
+		t.Error("weak-diagonal generator produced a dominant diagonal")
+	}
+}
+
+func TestEconomicsDenseRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := EconomicsDense(200, 10, 0.02, rng)
+	// Count row populations: the first 10 rows must be much denser.
+	rowCount := make([]int, a.Rows)
+	for _, i := range a.RowInd {
+		rowCount[i]++
+	}
+	denseAvg, sparseAvg := 0.0, 0.0
+	for i := 0; i < 10; i++ {
+		denseAvg += float64(rowCount[i])
+	}
+	for i := 10; i < 150; i++ {
+		sparseAvg += float64(rowCount[i])
+	}
+	denseAvg /= 10
+	sparseAvg /= 140
+	if denseAvg < 5*sparseAvg {
+		t.Errorf("dense rows avg %.1f not well above sparse avg %.1f", denseAvg, sparseAvg)
+	}
+}
+
+func TestQuantumWorkloadViaLocalNeighbor(t *testing.T) {
+	// localNeighbor stays in range and is usually close.
+	rng := rand.New(rand.NewSource(11))
+	far := 0
+	const trials = 2000
+	for k := 0; k < trials; k++ {
+		i := rng.Intn(1000)
+		j := localNeighbor(i, 1000, rng)
+		if j < 0 || j >= 1000 {
+			t.Fatalf("neighbor %d out of range", j)
+		}
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		if d > 500 {
+			d = 1000 - d // wrap distance
+		}
+		if d > 60 {
+			far++
+		}
+	}
+	if float64(far)/trials > 0.1 {
+		t.Errorf("%d of %d neighbors are far; want mostly local", far, trials)
+	}
+}

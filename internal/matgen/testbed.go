@@ -1,0 +1,253 @@
+package matgen
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"gesp/internal/matching"
+	"gesp/internal/sparse"
+)
+
+// Matrix is one testbed entry: a named, discipline-tagged generator.
+type Matrix struct {
+	// Name matches the Harwell–Boeing / Davis matrix the entry stands in
+	// for (see the package comment for the substitution rationale).
+	Name string
+	// Discipline is the application domain from the paper's Table 1.
+	Discipline string
+	// ZeroDiag marks entries generated with structurally zero diagonal
+	// entries (22 of the paper's 53 matrices have them).
+	ZeroDiag bool
+	gen      func(scale float64, rng *rand.Rand) *sparse.CSC
+}
+
+// Generate builds the matrix at the given scale (1 = default test size;
+// the paper's originals are 10–100× larger). Generation is deterministic:
+// the RNG is seeded from the matrix name.
+func (m Matrix) Generate(scale float64) *sparse.CSC {
+	h := fnv.New64a()
+	h.Write([]byte(m.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	a := m.gen(scale, rng)
+	return EnsureFullRank(a, rng)
+}
+
+// EnsureFullRank patches a structurally rank-deficient matrix by adding
+// entries pairing unmatched rows with unmatched columns, so MC64 and the
+// static factorization are well defined on every generated matrix.
+func EnsureFullRank(a *sparse.CSC, rng *rand.Rand) *sparse.CSC {
+	rowOf, size := matching.MaxTransversal(a)
+	n := a.Cols
+	if size == n {
+		return a
+	}
+	usedRow := make([]bool, a.Rows)
+	var freeCols []int
+	for j, i := range rowOf {
+		if i >= 0 {
+			usedRow[i] = true
+		} else {
+			freeCols = append(freeCols, j)
+		}
+	}
+	t := sparse.NewTriplet(a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			t.Append(a.RowInd[k], j, a.Val[k])
+		}
+	}
+	fc := 0
+	for i := 0; i < a.Rows && fc < len(freeCols); i++ {
+		if !usedRow[i] {
+			t.Append(i, freeCols[fc], 0.5+rng.Float64())
+			fc++
+		}
+	}
+	return t.ToCSC()
+}
+
+// dim scales a base dimension by sqrt(scale) so nnz grows roughly
+// linearly with scale for 2-D stencils.
+func dim(base int, scale float64) int {
+	d := int(float64(base) * math.Sqrt(scale))
+	if d < 4 {
+		d = 4
+	}
+	return d
+}
+
+func lin(base int, scale float64) int {
+	d := int(float64(base) * scale)
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// Testbed returns the 53-matrix suite standing in for the paper's
+// Table 1. Matrices are grouped by the discipline of the original.
+func Testbed() []Matrix {
+	cfd2d := func(bx, by int, cx, cy float64) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return ConvectionDiffusion2D(dim(bx, s), dim(by, s), cx, cy, rng)
+		}
+	}
+	res3d := func(b int, cx, ax, ay, az float64) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			// Cube-root growth keeps n (and hence 3-D fill) roughly linear
+			// in the scale, like the 2-D generators.
+			d := int(float64(b) * math.Cbrt(s))
+			if d < 4 {
+				d = 4
+			}
+			return ConvectionDiffusion3D(d, d, maxInt(d/2, 3), cx, ax, ay, az, rng)
+		}
+	}
+	fem := func(bx, by, blk, saddle int) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return FEMVector2D(dim(bx, s), dim(by, s), blk, saddle, rng)
+		}
+	}
+	circuit := func(n, deg, nsrc int) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return Circuit(lin(n, s), deg, lin(nsrc, s), rng)
+		}
+	}
+	harm := func(base, h, deg int) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return HarmonicBalance(lin(base, s), h, deg, rng)
+		}
+	}
+	chem := func(stages, comp int, zf float64) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return ChemicalEng(lin(stages, s), comp, zf, rng)
+		}
+	}
+	econ := func(n, dr int, dens float64) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return EconomicsDense(lin(n, s), dr, dens, rng)
+		}
+	}
+	power := func(n, deg int, zf float64) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return PowerNetwork(lin(n, s), deg, zf, rng)
+		}
+	}
+	device := func(bx, by int) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return DeviceSimulation(dim(bx, s), dim(by, s), rng)
+		}
+	}
+	weak2d := func(bx, by int, weight float64) func(float64, *rand.Rand) *sparse.CSC {
+		return func(s float64, rng *rand.Rand) *sparse.CSC {
+			return WeakDiagonal2D(dim(bx, s), dim(by, s), weight, rng)
+		}
+	}
+
+	return []Matrix{
+		{Name: "AF23560", Discipline: "fluid flow (airfoil)", gen: cfd2d(38, 38, 1.5, 0.5)},
+		{Name: "ADD32", Discipline: "circuit simulation", ZeroDiag: true, gen: circuit(420, 4, 40)},
+		{Name: "AV41092", Discipline: "finite element analysis", ZeroDiag: true, gen: fem(11, 11, 5, 2)},
+		{Name: "BBMAT", Discipline: "fluid flow (2-D airfoil, beam)", gen: cfd2d(42, 42, 2.5, 1.0)},
+		{Name: "CRY10000", Discipline: "crystal growth simulation", gen: cfd2d(32, 32, 4.0, 0.0)},
+		{Name: "ECL32", Discipline: "device simulation", gen: device(16, 16)},
+		{Name: "EX11", Discipline: "fluid flow (3-D cylinder)", gen: res3d(13, 1.0, 1, 1, 1)},
+		{Name: "FIDAP011", Discipline: "finite element fluid flow", ZeroDiag: true, gen: fem(9, 9, 4, 1)},
+		{Name: "FIDAPM11", Discipline: "finite element fluid flow", ZeroDiag: true, gen: fem(10, 10, 4, 1)},
+		{Name: "GEMAT11", Discipline: "power flow optimization", ZeroDiag: true, gen: power(480, 4, 0.1)},
+		{Name: "GOODWIN", Discipline: "fluid mechanics (FEM)", gen: fem(10, 10, 3, 0)},
+		{Name: "GRAHAM1", Discipline: "Navier-Stokes (FEM)", ZeroDiag: true, gen: fem(9, 9, 3, 1)},
+		{Name: "GRE_1107", Discipline: "discrete system simulation", ZeroDiag: true, gen: power(370, 3, 0.15)},
+		{Name: "HYDR1", Discipline: "chemical engineering", ZeroDiag: true, gen: chem(90, 6, 0.15)},
+		{Name: "INACCURA", Discipline: "structure engineering", gen: fem(10, 10, 4, 0)},
+		{Name: "JPWH_991", Discipline: "circuit physics", gen: circuit(330, 5, 0)},
+		{Name: "LHR01", Discipline: "light hydrocarbon recovery", ZeroDiag: true, gen: chem(50, 6, 0.2)},
+		{Name: "LHR14C", Discipline: "light hydrocarbon recovery", ZeroDiag: true, gen: chem(110, 6, 0.2)},
+		{Name: "LHR34C", Discipline: "light hydrocarbon recovery", ZeroDiag: true, gen: chem(170, 6, 0.2)},
+		{Name: "LHR71C", Discipline: "light hydrocarbon recovery", ZeroDiag: true, gen: chem(240, 6, 0.2)},
+		{Name: "LNS_3937", Discipline: "compressible fluid flow", gen: weak2d(20, 20, 0.5)},
+		{Name: "LNSP3937", Discipline: "compressible fluid flow", gen: weak2d(20, 20, 0.45)},
+		{Name: "MCFE", Discipline: "astrophysics", gen: econ(250, 10, 0.08)},
+		{Name: "MEMPLUS", Discipline: "memory circuit design", ZeroDiag: true, gen: circuit(1300, 5, 120)},
+		{Name: "MHD4800A", Discipline: "plasma physics (MHD)", gen: fem(11, 11, 4, 0)},
+		{Name: "OLAFU", Discipline: "structure engineering", gen: fem(12, 12, 3, 0)},
+		{Name: "ONETONE1", Discipline: "harmonic balance circuit", ZeroDiag: true, gen: harm(110, 5, 4)},
+		{Name: "ONETONE2", Discipline: "harmonic balance circuit", ZeroDiag: true, gen: harm(110, 5, 3)},
+		{Name: "ORANI678", Discipline: "economic modelling", gen: econ(650, 20, 0.01)},
+		{Name: "ORSIRR_1", Discipline: "oil reservoir simulation", gen: res3d(10, 0.0, 1, 1, 25)},
+		{Name: "ORSREG_1", Discipline: "oil reservoir simulation", gen: res3d(12, 0.0, 1, 1, 10)},
+		{Name: "PORES_2", Discipline: "oil reservoir simulation", gen: res3d(9, 0.5, 1, 5, 5)},
+		{Name: "PSMIGR_1", Discipline: "population migration", gen: econ(700, 35, 0.015)},
+		{Name: "RADFR1", Discipline: "chemical engineering (distillation)", ZeroDiag: true, gen: chem(70, 6, 0.12)},
+		{Name: "RAEFSKY3", Discipline: "fluid/structure interaction", gen: fem(12, 12, 4, 0)},
+		{Name: "RAEFSKY4", Discipline: "container buckling", ZeroDiag: true, gen: fem(11, 11, 4, 1)},
+		{Name: "RDIST1", Discipline: "reactive distillation", ZeroDiag: true, gen: chem(140, 6, 0.18)},
+		{Name: "RDIST2", Discipline: "reactive distillation", ZeroDiag: true, gen: chem(110, 6, 0.18)},
+		{Name: "RDIST3A", Discipline: "reactive distillation", ZeroDiag: true, gen: chem(80, 6, 0.18)},
+		{Name: "RMA10", Discipline: "3-D ocean modelling", gen: fem(13, 13, 3, 0)},
+		{Name: "SAYLR4", Discipline: "oil reservoir simulation", gen: res3d(13, 0.0, 1, 1, 8)},
+		{Name: "SHERMAN3", Discipline: "oil reservoir simulation", gen: res3d(13, 0.0, 1, 2, 2)},
+		{Name: "SHERMAN4", Discipline: "oil reservoir simulation", gen: res3d(9, 0.0, 1, 1, 4)},
+		{Name: "SHERMAN5", Discipline: "oil reservoir simulation", gen: res3d(11, 1.0, 1, 3, 3)},
+		{Name: "SHYY161", Discipline: "viscous fluid flow", gen: cfd2d(28, 28, 5.0, 0.5)},
+		{Name: "TOLS4000", Discipline: "aeroelasticity", gen: weak2d(15, 15, 0.4)},
+		{Name: "TWOTONE", Discipline: "harmonic balance (two-tone) circuit", ZeroDiag: true, gen: harm(240, 8, 4)},
+		{Name: "UTM5940", Discipline: "tokamak plasma modelling", gen: device(13, 13)},
+		{Name: "VENKAT01", Discipline: "unstructured 2-D Euler flow", gen: cfd2d(34, 34, 1.0, 1.0)},
+		{Name: "WANG3", Discipline: "semiconductor device simulation", gen: device(14, 14)},
+		{Name: "WANG4", Discipline: "semiconductor device simulation", gen: device(15, 15)},
+		{Name: "WEST2021", Discipline: "chemical engineering plant model", ZeroDiag: true, gen: chem(130, 5, 0.25)},
+		{Name: "WU", Discipline: "earth sciences (LBNL)", gen: res3d(12, 0.3, 1, 1, 12)},
+	}
+}
+
+// ParallelTestbed returns the eight larger matrices of the paper's
+// Table 2, used for the distributed scaling experiments (Tables 3–5).
+func ParallelTestbed() []Matrix {
+	byName := make(map[string]Matrix)
+	for _, m := range Testbed() {
+		byName[m.Name] = m
+	}
+	names := []string{"AF23560", "BBMAT", "ECL32", "EX11", "FIDAPM11", "MEMPLUS", "TWOTONE", "WANG4"}
+	out := make([]Matrix, 0, len(names))
+	for _, name := range names {
+		m := byName[name]
+		base := m.gen
+		// The parallel experiments run the same disciplines at larger size.
+		m.gen = func(s float64, rng *rand.Rand) *sparse.CSC {
+			return base(4*s, rng)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Lookup finds a testbed matrix by name (either testbed), or false.
+func Lookup(name string) (Matrix, bool) {
+	for _, m := range Testbed() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Matrix{}, false
+}
+
+// OnesRHS builds the right-hand side b = A·1, the paper's experimental
+// setup where the true solution is a vector of all ones.
+func OnesRHS(a *sparse.CSC) []float64 {
+	ones := make([]float64, a.Cols)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, a.Rows)
+	a.MatVec(b, ones)
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package matgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"gesp/internal/matching"
+	"gesp/internal/sparse"
+)
+
+func TestTestbedHas53Matrices(t *testing.T) {
+	tb := Testbed()
+	if len(tb) != 53 {
+		t.Fatalf("testbed has %d matrices, want 53 (paper's Table 1)", len(tb))
+	}
+	seen := map[string]bool{}
+	for _, m := range tb {
+		if m.Name == "" || m.Discipline == "" {
+			t.Errorf("entry %+v missing name or discipline", m)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate matrix name %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestAllTestbedMatricesAreValid(t *testing.T) {
+	for _, m := range Testbed() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			a := m.Generate(0.5)
+			if err := a.Check(); err != nil {
+				t.Fatalf("invalid CSC: %v", err)
+			}
+			if a.Rows != a.Cols {
+				t.Fatalf("non-square %dx%d", a.Rows, a.Cols)
+			}
+			if a.Rows < 50 {
+				t.Fatalf("suspiciously small n=%d", a.Rows)
+			}
+			// Structural full rank is required for GESP's matching step.
+			_, size := matching.MaxTransversal(a)
+			if size != a.Cols {
+				t.Fatalf("structural rank %d < n=%d", size, a.Cols)
+			}
+		})
+	}
+}
+
+func TestZeroDiagPopulation(t *testing.T) {
+	// The paper: 22 of 53 matrices contain zero diagonals to begin with.
+	count := 0
+	for _, m := range Testbed() {
+		a := m.Generate(0.5)
+		hasZero := a.ZeroDiagonals() > 0
+		if m.ZeroDiag && !hasZero {
+			t.Errorf("%s flagged ZeroDiag but generated full diagonal", m.Name)
+		}
+		if hasZero {
+			count++
+		}
+	}
+	if count < 15 || count > 30 {
+		t.Errorf("zero-diagonal population %d, want near the paper's 22", count)
+	}
+	t.Logf("matrices with zero diagonals: %d (paper: 22)", count)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m, ok := Lookup("TWOTONE")
+	if !ok {
+		t.Fatal("TWOTONE missing")
+	}
+	a := m.Generate(0.5)
+	b := m.Generate(0.5)
+	if a.Nnz() != b.Nnz() || a.Rows != b.Rows {
+		t.Fatal("generation is not deterministic in structure")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] || a.RowInd[k] != b.RowInd[k] {
+			t.Fatal("generation is not deterministic in values")
+		}
+	}
+}
+
+func TestScaleGrowsProblem(t *testing.T) {
+	m, _ := Lookup("AF23560")
+	small := m.Generate(0.25)
+	big := m.Generate(1.0)
+	if big.Rows <= small.Rows {
+		t.Errorf("scale 1.0 gives n=%d, not larger than scale 0.25's n=%d", big.Rows, small.Rows)
+	}
+}
+
+func TestParallelTestbed(t *testing.T) {
+	pt := ParallelTestbed()
+	if len(pt) != 8 {
+		t.Fatalf("parallel testbed has %d matrices, want 8 (paper's Table 2)", len(pt))
+	}
+	base := map[string]int{}
+	for _, m := range Testbed() {
+		base[m.Name] = m.Generate(0.5).Rows
+	}
+	for _, m := range pt {
+		a := m.Generate(0.5)
+		if a.Rows <= base[m.Name] {
+			t.Errorf("%s: parallel variant n=%d not larger than testbed n=%d", m.Name, a.Rows, base[m.Name])
+		}
+		_, size := matching.MaxTransversal(a)
+		if size != a.Cols {
+			t.Errorf("%s: parallel variant structurally singular", m.Name)
+		}
+	}
+}
+
+func TestSymmetryTraits(t *testing.T) {
+	// Stencil matrices are structurally symmetric but numerically
+	// unsymmetric; economics matrices are heavily unsymmetric.
+	m, _ := Lookup("AF23560")
+	s := sparse.SymmetryOf(m.Generate(0.5))
+	if s.Str < 0.95 {
+		t.Errorf("AF23560 StrSym = %g, want near 1 (stencil)", s.Str)
+	}
+	if s.Num > 0.9 {
+		t.Errorf("AF23560 NumSym = %g, want < 0.9 (convection breaks value symmetry)", s.Num)
+	}
+	m, _ = Lookup("PSMIGR_1")
+	s = sparse.SymmetryOf(m.Generate(0.5))
+	if s.Str > 0.5 {
+		t.Errorf("PSMIGR_1 StrSym = %g, want < 0.5 (unsymmetric economics)", s.Str)
+	}
+}
+
+func TestChemicalIsIllScaled(t *testing.T) {
+	m, _ := Lookup("LHR14C")
+	a := m.Generate(0.5)
+	lo, hi := 1e300, 0.0
+	for _, v := range a.Val {
+		av := v
+		if av < 0 {
+			av = -av
+		}
+		if av == 0 {
+			continue
+		}
+		if av < lo {
+			lo = av
+		}
+		if av > hi {
+			hi = av
+		}
+	}
+	if hi/lo < 1e6 {
+		t.Errorf("LHR14C magnitude spread %g, want >= 1e6 (ill-scaled chemical eng)", hi/lo)
+	}
+}
+
+func TestTwotoneSmallSupernodes(t *testing.T) {
+	// TWOTONE's distinguishing trait in the paper: tiny supernodes.
+	m, _ := Lookup("TWOTONE")
+	a := m.Generate(0.5)
+	if sym := sparse.SymmetryOf(a); sym.Str < 0.5 {
+		t.Logf("TWOTONE StrSym=%.2f", sym.Str)
+	}
+	if a.Rows < 500 {
+		t.Errorf("TWOTONE too small: %d", a.Rows)
+	}
+}
+
+func TestOnesRHS(t *testing.T) {
+	a := sparse.FromDense([][]float64{{1, 2}, {3, 4}})
+	b := OnesRHS(a)
+	if b[0] != 3 || b[1] != 7 {
+		t.Errorf("OnesRHS = %v, want [3 7]", b)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	if _, ok := Lookup("NOSUCH"); ok {
+		t.Error("Lookup found a nonexistent matrix")
+	}
+}
+
+func TestEnsureFullRankPatches(t *testing.T) {
+	// Rows 0,1 both only in column 0.
+	tr := sparse.NewTriplet(3, 3)
+	tr.Append(0, 0, 1)
+	tr.Append(1, 0, 1)
+	tr.Append(2, 2, 1)
+	a := tr.ToCSC()
+	fixed := EnsureFullRank(a, rand.New(rand.NewSource(1)))
+	_, size := matching.MaxTransversal(fixed)
+	if size != 3 {
+		t.Errorf("EnsureFullRank left structural rank %d", size)
+	}
+}

@@ -1,0 +1,110 @@
+package mpisim
+
+// This file adds the collective and wildcard-receive operations the
+// distributed solver needs beyond plain Send/Recv.
+
+// Barrier blocks until every rank has entered it; on release all virtual
+// clocks advance to the latest participant's clock plus one latency
+// (a tree barrier would be cheaper, but the solver only uses barriers
+// between phases, where the constant does not matter).
+func (r *Rank) Barrier() {
+	w := r.world
+	w.barrierMu.Lock()
+	if r.clock > w.barrierClockPending {
+		w.barrierClockPending = r.clock
+	}
+	w.barrierCount++
+	gen := w.barrierGen
+	if w.barrierCount == w.P {
+		w.barrierClock = w.barrierClockPending + w.Model.Latency
+		w.barrierClockPending = 0
+		w.barrierCount = 0
+		w.barrierGen++
+		w.barrierCond.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierCond.Wait()
+		}
+	}
+	release := w.barrierClock
+	w.barrierMu.Unlock()
+	if release > r.clock {
+		r.commTime += release - r.clock
+		r.clock = release
+	}
+}
+
+// Probe reports whether a message from src with tag is already queued.
+func (r *Rank) Probe(src, tag int) bool {
+	return r.world.mail[r.id].probe(src, tag)
+}
+
+// RecvAny blocks until any message is queued for this rank, then returns
+// the queued message with the earliest virtual arrival time (ties broken
+// by source then tag, keeping the discrete-event order as deterministic
+// as the real scheduling allows). It returns the source, tag and payload.
+// This is the MPI_ANY_SOURCE receive of the paper's message-driven
+// triangular solve.
+func (r *Rank) RecvAny() (src, tag int, payload any) {
+	m := r.world.mail[r.id].takeAny(r.world.Model)
+	arrival := m.sentAt + r.world.Model.Latency + float64(m.bytes)*r.world.Model.CostPerByte
+	if arrival > r.clock {
+		r.commTime += arrival - r.clock
+		r.clock = arrival
+	}
+	return m.src, m.tag, m.payload
+}
+
+// Tags reserved for collectives; user tags must stay below tagCollective.
+const tagCollective = 1 << 19
+
+// Bcast distributes root's value to every rank and returns it (a flat
+// broadcast: root sends P-1 messages, like the paper's panel broadcasts).
+func (r *Rank) Bcast(root int, value any, bytes int) any {
+	if r.id == root {
+		for dst := 0; dst < r.world.P; dst++ {
+			if dst != root {
+				r.Send(dst, tagCollective, value, bytes)
+			}
+		}
+		return value
+	}
+	return r.Recv(root, tagCollective)
+}
+
+// AllreduceSum sums a float64 contribution across all ranks and returns
+// the total on every rank (gather to rank 0, then broadcast).
+func (r *Rank) AllreduceSum(v float64) float64 {
+	const bytes = 8
+	if r.id == 0 {
+		total := v
+		for src := 1; src < r.world.P; src++ {
+			total += r.Recv(src, tagCollective+1).(float64)
+		}
+		for dst := 1; dst < r.world.P; dst++ {
+			r.Send(dst, tagCollective+2, total, bytes)
+		}
+		return total
+	}
+	r.Send(0, tagCollective+1, v, bytes)
+	return r.Recv(0, tagCollective+2).(float64)
+}
+
+// AllreduceMax returns the maximum of the contributions on every rank.
+func (r *Rank) AllreduceMax(v float64) float64 {
+	const bytes = 8
+	if r.id == 0 {
+		best := v
+		for src := 1; src < r.world.P; src++ {
+			if got := r.Recv(src, tagCollective+3).(float64); got > best {
+				best = got
+			}
+		}
+		for dst := 1; dst < r.world.P; dst++ {
+			r.Send(dst, tagCollective+4, best, bytes)
+		}
+		return best
+	}
+	r.Send(0, tagCollective+3, v, bytes)
+	return r.Recv(0, tagCollective+4).(float64)
+}

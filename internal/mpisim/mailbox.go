@@ -1,0 +1,82 @@
+package mpisim
+
+import "sync"
+
+// mailbox is one rank's incoming message store with its own lock, so
+// traffic between disjoint rank pairs never contends (the original
+// whole-world mutex serialized a 512-rank simulation onto one core).
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	boxes map[int][]*message // key: src<<20 | tag
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{boxes: make(map[int][]*message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m *message) {
+	mb.mu.Lock()
+	key := tagKey(m.src, m.tag)
+	mb.boxes[key] = append(mb.boxes[key], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a (src, tag) message is queued and dequeues it.
+func (mb *mailbox) take(src, tag int) *message {
+	key := tagKey(src, tag)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.boxes[key]) == 0 {
+		mb.cond.Wait()
+	}
+	q := mb.boxes[key]
+	m := q[0]
+	if len(q) == 1 {
+		delete(mb.boxes, key)
+	} else {
+		mb.boxes[key] = q[1:]
+	}
+	return m
+}
+
+// takeAny blocks until anything is queued, then dequeues the message with
+// the earliest virtual arrival (ties broken by key for determinism).
+func (mb *mailbox) takeAny(model CostModel) *message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		bestKey := -1
+		bestArrival := 0.0
+		for key, q := range mb.boxes {
+			if len(q) == 0 {
+				continue
+			}
+			m := q[0]
+			arr := m.sentAt + model.Latency + float64(m.bytes)*model.CostPerByte
+			if bestKey == -1 || arr < bestArrival || (arr == bestArrival && key < bestKey) {
+				bestKey, bestArrival = key, arr
+			}
+		}
+		if bestKey >= 0 {
+			q := mb.boxes[bestKey]
+			m := q[0]
+			if len(q) == 1 {
+				delete(mb.boxes, bestKey)
+			} else {
+				mb.boxes[bestKey] = q[1:]
+			}
+			return m
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) probe(src, tag int) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.boxes[tagKey(src, tag)]) > 0
+}

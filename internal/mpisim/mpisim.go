@@ -1,0 +1,303 @@
+// Package mpisim is the message-passing substrate standing in for MPI on
+// the Cray T3E (see DESIGN.md: the build environment has no MPI, so the
+// distributed algorithms run on an in-process runtime).
+//
+// Each rank is a goroutine. Point-to-point messages carry a tag and are
+// matched by (source, tag) like MPI_Recv. On top of real concurrency the
+// runtime keeps a LogGP-style *virtual clock* per rank:
+//
+//   - computation advances the local clock by flops·CostPerFlop,
+//   - a message send costs SendOverhead on the sender,
+//   - a receive completes at max(receiver clock, sender timestamp +
+//     Latency + bytes·CostPerByte), and the receiver's waiting time is
+//     accounted as communication time.
+//
+// Simulated time is deterministic and machine independent, which is what
+// the scaling tables (paper Tables 3–5) are measured in; wall-clock time
+// is also real because ranks genuinely run in parallel.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CostModel is the LogGP-style machine model. The defaults approximate a
+// Cray T3E-900: ~20µs MPI latency, ~300 MB/s sustained bandwidth, and an
+// effective 450 Mflop/s per-PE supernodal kernel rate (the paper reports
+// ~8 Gflops aggregate on 512 PEs with >50% communication time).
+type CostModel struct {
+	Latency      float64 // seconds per message
+	CostPerByte  float64 // seconds per payload byte
+	CostPerFlop  float64 // seconds per floating-point operation
+	SendOverhead float64 // sender-side CPU cost per message
+}
+
+// T3E900 is the default calibration.
+func T3E900() CostModel {
+	return CostModel{
+		Latency:      20e-6,
+		CostPerByte:  1.0 / 300e6,
+		CostPerFlop:  1.0 / 450e6,
+		SendOverhead: 5e-6,
+	}
+}
+
+// message is an in-flight point-to-point message.
+type message struct {
+	src, tag int
+	payload  any
+	bytes    int
+	sentAt   float64 // sender's virtual clock at send time
+}
+
+// World is one simulated machine: P ranks with per-rank mailboxes.
+type World struct {
+	P     int
+	Model CostModel
+
+	mail []*mailbox
+
+	barrierMu           sync.Mutex
+	barrierCond         *sync.Cond
+	barrierCount        int
+	barrierGen          int
+	barrierClock        float64
+	barrierClockPending float64
+
+	ranks []*Rank
+}
+
+// NewWorld creates a simulator with p ranks.
+func NewWorld(p int, model CostModel) *World {
+	w := &World{P: p, Model: model}
+	w.barrierCond = sync.NewCond(&w.barrierMu)
+	w.mail = make([]*mailbox, p)
+	w.ranks = make([]*Rank, p)
+	for i := 0; i < p; i++ {
+		w.mail[i] = newMailbox()
+		w.ranks[i] = &Rank{world: w, id: i}
+	}
+	return w
+}
+
+// Run executes body on every rank concurrently and waits for all to
+// finish. It is the moral equivalent of mpirun.
+func (w *World) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(w.P)
+	for i := 0; i < w.P; i++ {
+		go func(r *Rank) {
+			defer wg.Done()
+			body(r)
+		}(w.ranks[i])
+	}
+	wg.Wait()
+}
+
+// Rank is one simulated processor.
+type Rank struct {
+	world *World
+	id    int
+
+	clock    float64 // virtual time (seconds)
+	commTime float64 // part of clock spent sending/waiting
+	flops    int64
+	sent     int64 // messages sent
+	sentVol  int64 // payload bytes sent
+}
+
+// ID returns the rank number in [0, P).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.world.P }
+
+// Compute advances the rank's virtual clock by the cost of the given
+// floating-point operations.
+func (r *Rank) Compute(flops int64) {
+	r.flops += flops
+	r.clock += float64(flops) * r.world.Model.CostPerFlop
+}
+
+// Elapse advances the virtual clock by a fixed amount of non-flop work
+// (indexing, packing); cost accounting only.
+func (r *Rank) Elapse(seconds float64) { r.clock += seconds }
+
+// Send delivers payload to rank dst with the given tag. bytes is the
+// modelled payload size (the Go value itself is passed by reference; the
+// simulation charges the modelled size).
+func (r *Rank) Send(dst, tag int, payload any, bytes int) {
+	if dst == r.id {
+		panic("mpisim: send to self")
+	}
+	m := &message{src: r.id, tag: tag, payload: payload, bytes: bytes}
+	r.clock += r.world.Model.SendOverhead
+	r.commTime += r.world.Model.SendOverhead
+	m.sentAt = r.clock
+	r.sent++
+	r.sentVol += int64(bytes)
+	r.world.mail[dst].put(m)
+}
+
+// Recv blocks until a message with the given source and tag arrives, then
+// returns its payload. The virtual clock advances to the message's
+// arrival time (transit = latency + bytes·cost), and any gap the rank
+// spent blocked is accounted as communication time.
+func (r *Rank) Recv(src, tag int) any {
+	m := r.world.mail[r.id].take(src, tag)
+	arrival := m.sentAt + r.world.Model.Latency + float64(m.bytes)*r.world.Model.CostPerByte
+	if arrival > r.clock {
+		r.commTime += arrival - r.clock
+		r.clock = arrival
+	}
+	return m.payload
+}
+
+func tagKey(src, tag int) int {
+	if tag < 0 || tag >= 1<<20 {
+		panic("mpisim: tag out of range (must fit in 20 bits)")
+	}
+	return src<<20 | tag
+}
+
+// Clock returns the rank's virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// CommTime returns the virtual time spent in communication.
+func (r *Rank) CommTime() float64 { return r.commTime }
+
+// Flops returns the floating-point operations performed.
+func (r *Rank) Flops() int64 { return r.flops }
+
+// MsgsSent returns the number of messages this rank sent.
+func (r *Rank) MsgsSent() int64 { return r.sent }
+
+// BytesSent returns the payload volume this rank sent.
+func (r *Rank) BytesSent() int64 { return r.sentVol }
+
+// Stats aggregates the whole world after Run returns.
+type Stats struct {
+	// Time is the simulated parallel runtime: max over ranks of Clock.
+	Time float64
+	// CommFraction is Σ commTime / Σ clock, the paper's Table 5 metric.
+	CommFraction float64
+	// LoadBalance is avg(flops)/max(flops), the paper's factor B.
+	LoadBalance float64
+	// Messages and Volume are totals over all ranks.
+	Messages int64
+	Volume   int64
+	// TotalFlops over all ranks; Mflops = TotalFlops/Time/1e6.
+	TotalFlops int64
+}
+
+// GatherStats summarizes the world's counters.
+func (w *World) GatherStats() Stats {
+	var s Stats
+	var sumClock, sumComm float64
+	var maxFlops int64
+	for _, r := range w.ranks {
+		if r.clock > s.Time {
+			s.Time = r.clock
+		}
+		sumClock += r.clock
+		sumComm += r.commTime
+		s.Messages += r.sent
+		s.Volume += r.sentVol
+		s.TotalFlops += r.flops
+		if r.flops > maxFlops {
+			maxFlops = r.flops
+		}
+	}
+	if sumClock > 0 {
+		s.CommFraction = sumComm / sumClock
+	}
+	if maxFlops > 0 {
+		s.LoadBalance = float64(s.TotalFlops) / float64(w.P) / float64(maxFlops)
+	}
+	return s
+}
+
+// Mflops returns the simulated aggregate megaflop rate.
+func (s Stats) Mflops() float64 {
+	if s.Time == 0 {
+		return 0
+	}
+	return float64(s.TotalFlops) / s.Time / 1e6
+}
+
+// Grid is a 2-D process grid of shape prow × pcol, the paper's layout for
+// the block-cyclic distribution.
+type Grid struct {
+	PRow, PCol int
+}
+
+// NewGrid picks a near-square grid for p processes (prow ≤ pcol, matching
+// the paper's "P = prow × pcol" arrangement).
+func NewGrid(p int) Grid {
+	pr := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			pr = d
+		}
+	}
+	return Grid{PRow: pr, PCol: p / pr}
+}
+
+// Coords returns the (row, col) coordinate of a rank (row-major).
+func (g Grid) Coords(rank int) (int, int) { return rank / g.PCol, rank % g.PCol }
+
+// RankOf returns the rank at grid coordinate (pr, pc).
+func (g Grid) RankOf(pr, pc int) int { return pr*g.PCol + pc }
+
+// OwnerOfBlock maps block (I, J) to its owning rank under the 2-D
+// block-cyclic distribution: process (I mod PRow, J mod PCol).
+func (g Grid) OwnerOfBlock(i, j int) int {
+	return g.RankOf(i%g.PRow, j%g.PCol)
+}
+
+func (g Grid) String() string { return fmt.Sprintf("%dx%d", g.PRow, g.PCol) }
+
+// Snapshot captures a rank's counters so callers can attribute costs to
+// phases (factorization vs solve) by differencing.
+type Snapshot struct {
+	Clock, Comm float64
+	Flops       int64
+	Msgs, Bytes int64
+}
+
+// Snap reads the rank's current counters.
+func (r *Rank) Snap() Snapshot {
+	return Snapshot{Clock: r.clock, Comm: r.commTime, Flops: r.flops, Msgs: r.sent, Bytes: r.sentVol}
+}
+
+// PhaseStats summarizes one phase across all ranks from per-rank snapshot
+// pairs taken at the phase boundaries (ranks must be barrier-aligned).
+func PhaseStats(before, after []Snapshot) Stats {
+	var s Stats
+	var sumClock, sumComm float64
+	var maxFlops int64
+	for i := range before {
+		dClock := after[i].Clock - before[i].Clock
+		dComm := after[i].Comm - before[i].Comm
+		dFlops := after[i].Flops - before[i].Flops
+		if dClock > s.Time {
+			s.Time = dClock
+		}
+		sumClock += dClock
+		sumComm += dComm
+		s.Messages += after[i].Msgs - before[i].Msgs
+		s.Volume += after[i].Bytes - before[i].Bytes
+		s.TotalFlops += dFlops
+		if dFlops > maxFlops {
+			maxFlops = dFlops
+		}
+	}
+	if sumClock > 0 {
+		s.CommFraction = sumComm / sumClock
+	}
+	if maxFlops > 0 {
+		s.LoadBalance = float64(s.TotalFlops) / float64(len(before)) / float64(maxFlops)
+	}
+	return s
+}

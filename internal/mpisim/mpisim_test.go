@@ -1,0 +1,255 @@
+package mpisim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPingPongClockSemantics(t *testing.T) {
+	model := CostModel{Latency: 10e-6, CostPerByte: 1e-9, CostPerFlop: 1e-9, SendOverhead: 1e-6}
+	w := NewWorld(2, model)
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Compute(1000) // 1µs
+			r.Send(1, 7, "hello", 1000)
+		case 1:
+			got := r.Recv(0, 7)
+			if got.(string) != "hello" {
+				t.Errorf("payload = %v", got)
+			}
+		}
+	})
+	// Rank 1's clock: sender clock at send = 1µs(compute) + 1µs(overhead)
+	// = 2µs; arrival = 2µs + 10µs + 1µs(bytes) = 13µs.
+	r1 := w.ranks[1]
+	want := 13e-6
+	if math.Abs(r1.Clock()-want) > 1e-12 {
+		t.Errorf("receiver clock = %g, want %g", r1.Clock(), want)
+	}
+	if math.Abs(r1.CommTime()-want) > 1e-12 {
+		t.Errorf("receiver comm time = %g, want %g (it only waited)", r1.CommTime(), want)
+	}
+	if w.ranks[0].MsgsSent() != 1 || w.ranks[0].BytesSent() != 1000 {
+		t.Error("sender counters wrong")
+	}
+}
+
+func TestFIFOOrderPerSourceTag(t *testing.T) {
+	w := NewWorld(2, T3E900())
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				r.Send(1, 3, i, 8)
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				if got := r.Recv(0, 3).(int); got != i {
+					t.Errorf("message %d arrived out of order: %d", i, got)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	w := NewWorld(2, T3E900())
+	var order int64
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			// Let rank 1 block first in real time; virtual semantics are
+			// unaffected either way.
+			for i := 0; i < 1000; i++ {
+				r.Compute(1)
+			}
+			atomic.StoreInt64(&order, 1)
+			r.Send(1, 1, 42, 8)
+		} else {
+			v := r.Recv(0, 1).(int)
+			if v != 42 {
+				t.Errorf("got %d", v)
+			}
+			if atomic.LoadInt64(&order) != 1 {
+				t.Error("receive completed before send")
+			}
+		}
+	})
+}
+
+func TestDeterministicSimulatedTime(t *testing.T) {
+	// The same communication pattern must give the same virtual time on
+	// every run regardless of real scheduling.
+	run := func() float64 {
+		w := NewWorld(4, T3E900())
+		w.Run(func(r *Rank) {
+			n := r.Size()
+			// Ring: everyone sends right, receives from left, 50 rounds.
+			for round := 0; round < 50; round++ {
+				r.Compute(int64(1000 * (r.ID() + 1)))
+				r.Send((r.ID()+1)%n, round, r.ID(), 800)
+				r.Recv((r.ID()+n-1)%n, round)
+			}
+		})
+		return w.GatherStats().Time
+	}
+	t1 := run()
+	for i := 0; i < 5; i++ {
+		if t2 := run(); t2 != t1 {
+			t.Fatalf("simulated time varies across runs: %g vs %g", t1, t2)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	w := NewWorld(3, T3E900())
+	w.Run(func(r *Rank) {
+		r.Compute(int64(1e6 * (r.ID() + 1))) // ranks at different times
+		r.Barrier()
+		want := 3e6*T3E900().CostPerFlop + T3E900().Latency
+		if math.Abs(r.Clock()-want) > 1e-9 {
+			t.Errorf("rank %d clock after barrier = %g, want %g", r.ID(), r.Clock(), want)
+		}
+	})
+}
+
+func TestRecvAnyPicksEarliestArrival(t *testing.T) {
+	w := NewWorld(3, T3E900())
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Compute(100000) // late sender
+			r.Send(2, 5, "late", 100)
+		case 1:
+			r.Send(2, 6, "early", 100)
+		case 2:
+			// Ensure both are queued before receiving: real-time sleep via
+			// barrier-free spin is racy, so receive twice and check the
+			// second call can never return an earlier arrival than the
+			// first when both were queued.
+			src1, _, _ := r.RecvAny()
+			src2, _, _ := r.RecvAny()
+			if src1 == src2 {
+				t.Error("same source received twice")
+			}
+		}
+	})
+}
+
+func TestGatherStats(t *testing.T) {
+	w := NewWorld(4, T3E900())
+	w.Run(func(r *Rank) {
+		r.Compute(1000000)
+		if r.ID() == 0 {
+			r.Compute(3000000) // imbalance
+		}
+		r.Barrier()
+	})
+	s := w.GatherStats()
+	if s.TotalFlops != 7000000 {
+		t.Errorf("TotalFlops = %d", s.TotalFlops)
+	}
+	// B = avg/max = (7e6/4)/4e6 = 0.4375.
+	if math.Abs(s.LoadBalance-0.4375) > 1e-12 {
+		t.Errorf("LoadBalance = %g, want 0.4375", s.LoadBalance)
+	}
+	if s.Time <= 0 || s.Mflops() <= 0 {
+		t.Error("time/Mflops not positive")
+	}
+	if s.CommFraction <= 0 || s.CommFraction >= 1 {
+		t.Errorf("CommFraction = %g, want in (0,1) (barrier waits count)", s.CommFraction)
+	}
+}
+
+func TestGridMath(t *testing.T) {
+	g := NewGrid(8)
+	if g.PRow*g.PCol != 8 {
+		t.Fatalf("grid %v does not cover 8 ranks", g)
+	}
+	if g.PRow > g.PCol {
+		t.Errorf("grid %v not row-minor", g)
+	}
+	seen := map[int]bool{}
+	for pr := 0; pr < g.PRow; pr++ {
+		for pc := 0; pc < g.PCol; pc++ {
+			rank := g.RankOf(pr, pc)
+			if seen[rank] {
+				t.Fatalf("rank %d duplicated", rank)
+			}
+			seen[rank] = true
+			gr, gc := g.Coords(rank)
+			if gr != pr || gc != pc {
+				t.Fatalf("Coords(RankOf(%d,%d)) = (%d,%d)", pr, pc, gr, gc)
+			}
+		}
+	}
+	// Block-cyclic ownership: block (I,J) at (I mod PRow, J mod PCol).
+	if own := g.OwnerOfBlock(5, 7); own != g.RankOf(5%g.PRow, 7%g.PCol) {
+		t.Errorf("OwnerOfBlock = %d", own)
+	}
+	// Primes give 1×p grids.
+	g7 := NewGrid(7)
+	if g7.PRow != 1 || g7.PCol != 7 {
+		t.Errorf("NewGrid(7) = %v", g7)
+	}
+	// 512 gives 16x32 (the paper's T3E runs used power-of-two grids).
+	g512 := NewGrid(512)
+	if g512.PRow != 16 || g512.PCol != 32 {
+		t.Errorf("NewGrid(512) = %v, want 16x32", g512)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	w := NewWorld(2, T3E900())
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 9, 1, 8)
+			r.Send(1, 9, 2, 8)
+		} else {
+			r.Recv(0, 9)
+			// After one receive, one message may or may not have arrived
+			// in real time yet; drain deterministically.
+			r.Recv(0, 9)
+			if r.Probe(0, 9) {
+				t.Error("Probe found a message after draining")
+			}
+		}
+	})
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	w := NewWorld(1, T3E900())
+	w.Run(func(r *Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send to self did not panic")
+			}
+		}()
+		r.Send(0, 1, nil, 0)
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5, T3E900())
+	w.Run(func(r *Rank) {
+		got := r.Bcast(2, r.ID()*100, 8)
+		if got.(int) != 200 {
+			t.Errorf("rank %d: Bcast = %v, want 200", r.ID(), got)
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	w := NewWorld(6, T3E900())
+	w.Run(func(r *Rank) {
+		sum := r.AllreduceSum(float64(r.ID()))
+		if sum != 15 {
+			t.Errorf("rank %d: sum = %g, want 15", r.ID(), sum)
+		}
+		max := r.AllreduceMax(float64(r.ID() * r.ID()))
+		if max != 25 {
+			t.Errorf("rank %d: max = %g, want 25", r.ID(), max)
+		}
+	})
+}

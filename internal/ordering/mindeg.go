@@ -1,0 +1,242 @@
+// Package ordering provides fill-reducing symmetric orderings for step (2)
+// of the GESP algorithm: a quotient-graph minimum-degree algorithm (in the
+// spirit of Liu's MMD as cited by the paper), reverse Cuthill–McKee, and
+// the natural ordering. GESP applies the resulting permutation to both the
+// rows and columns of the matched matrix so the large diagonal from step
+// (1) is preserved.
+package ordering
+
+import (
+	"gesp/internal/sparse"
+)
+
+// Method selects the fill-reducing heuristic.
+type Method int
+
+const (
+	// MinDegATA runs minimum degree on the pattern of AᵀA (robust for any
+	// row permutation; the paper's default via MMD on AᵀA).
+	MinDegATA Method = iota
+	// MinDegAPlusAT runs minimum degree on A+Aᵀ (cheaper; good for nearly
+	// structurally symmetric matrices).
+	MinDegAPlusAT
+	// RCM is reverse Cuthill–McKee on A+Aᵀ, a bandwidth reducer included
+	// for ablation benchmarks.
+	RCM
+	// Natural keeps the identity ordering.
+	Natural
+	// NDATA is nested dissection on AᵀA (the paper's step (2) mentions
+	// nested dissection as an alternative to minimum degree).
+	NDATA
+	// NDAPlusAT is nested dissection on A+Aᵀ.
+	NDAPlusAT
+)
+
+func (m Method) String() string {
+	switch m {
+	case MinDegATA:
+		return "mmd-ata"
+	case MinDegAPlusAT:
+		return "mmd-at+a"
+	case RCM:
+		return "rcm"
+	case Natural:
+		return "natural"
+	case NDATA:
+		return "nd-ata"
+	case NDAPlusAT:
+		return "nd-at+a"
+	}
+	return "unknown"
+}
+
+// Order computes a fill-reducing permutation (old index -> new index) for
+// the square matrix a using the chosen method.
+func Order(a *sparse.CSC, m Method) []int {
+	switch m {
+	case MinDegATA:
+		return MinimumDegree(sparse.PatternATA(a))
+	case MinDegAPlusAT:
+		return MinimumDegree(sparse.PatternAPlusAT(a))
+	case RCM:
+		return ReverseCuthillMcKee(sparse.PatternAPlusAT(a))
+	case NDATA:
+		return NestedDissection(sparse.PatternATA(a))
+	case NDAPlusAT:
+		return NestedDissection(sparse.PatternAPlusAT(a))
+	default:
+		return sparse.IdentityPerm(a.Cols)
+	}
+}
+
+// MinimumDegree computes a minimum external degree ordering of the
+// symmetric pattern using a quotient graph with element absorption. It
+// returns the permutation perm with perm[old] = new (elimination position).
+//
+// Degrees are recomputed exactly after each elimination over the affected
+// vertices; this is O(n·m) worst case but fast in practice on the
+// stencil-like graphs of the testbed, and keeps the implementation honest
+// enough to test against fill counts.
+func MinimumDegree(p *sparse.Pattern) []int {
+	n := p.N
+	// Quotient graph state. Vertex ids double as element ids once
+	// eliminated.
+	adjn := make([][]int, n) // variable neighbours
+	adje := make([][]int, n) // element neighbours
+	boundary := make([][]int, n)
+	eliminated := make([]bool, n)
+	absorbedInto := make([]int, n) // -1, or the element this one merged into
+	for v := 0; v < n; v++ {
+		adjn[v] = append([]int(nil), p.Ind[p.Ptr[v]:p.Ptr[v+1]]...)
+		absorbedInto[v] = -1
+	}
+
+	// Degree buckets: doubly linked lists indexed by current degree.
+	deg := make([]int, n)
+	head := make([]int, n+1)
+	next := make([]int, n)
+	prev := make([]int, n)
+	for d := range head {
+		head[d] = -1
+	}
+	insert := func(v, d int) {
+		deg[v] = d
+		next[v] = head[d]
+		prev[v] = -1
+		if head[d] != -1 {
+			prev[head[d]] = v
+		}
+		head[d] = v
+	}
+	remove := func(v int) {
+		if prev[v] != -1 {
+			next[prev[v]] = next[v]
+		} else {
+			head[deg[v]] = next[v]
+		}
+		if next[v] != -1 {
+			prev[next[v]] = prev[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		insert(v, len(adjn[v]))
+	}
+
+	find := func(e int) int {
+		for absorbedInto[e] != -1 {
+			e = absorbedInto[e]
+		}
+		return e
+	}
+
+	// Generation-stamped scratch marks: markGen/deg2Gen strictly increase, so
+	// stale stamps from earlier rounds can never alias the current one.
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	mark2 := make([]int, n)
+	for i := range mark2 {
+		mark2[i] = -1
+	}
+	markGen, deg2Gen := 0, 0
+	perm := make([]int, n)
+	lv := make([]int, 0, 64)
+	minDeg := 0
+
+	for pos := 0; pos < n; pos++ {
+		// Find the minimum-degree vertex.
+		for minDeg <= n && head[minDeg] == -1 {
+			minDeg++
+		}
+		v := head[minDeg]
+		remove(v)
+		eliminated[v] = true
+		perm[v] = pos
+
+		// Build Lv = boundary of the new element v.
+		markGen++
+		lv = lv[:0]
+		for _, u := range adjn[v] {
+			if !eliminated[u] && mark[u] != markGen {
+				mark[u] = markGen
+				lv = append(lv, u)
+			}
+		}
+		for _, e0 := range adje[v] {
+			e := find(e0)
+			if e == v || absorbedInto[e] != -1 {
+				continue
+			}
+			for _, u := range boundary[e] {
+				if !eliminated[u] && u != v && mark[u] != markGen {
+					mark[u] = markGen
+					lv = append(lv, u)
+				}
+			}
+			absorbedInto[e] = v
+			boundary[e] = nil
+		}
+		boundary[v] = append([]int(nil), lv...)
+		adjn[v], adje[v] = nil, nil
+
+		// Update each boundary vertex.
+		for _, u := range lv {
+			// Compact variable neighbours: drop eliminated vertices and
+			// vertices covered by the new element.
+			w := adjn[u][:0]
+			for _, x := range adjn[u] {
+				if !eliminated[x] && mark[x] != markGen {
+					w = append(w, x)
+				}
+			}
+			adjn[u] = w
+			// Compact element neighbours: resolve absorption, dedupe, and
+			// append the new element.
+			we := adje[u][:0]
+			for _, e0 := range adje[u] {
+				e := find(e0)
+				if e == v { // the new element is appended below
+					continue
+				}
+				dup := false
+				for _, y := range we {
+					if y == e {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					we = append(we, e)
+				}
+			}
+			adje[u] = append(we, v)
+
+			// Exact external degree: |adjn[u]| plus union of live element
+			// boundaries, excluding u itself.
+			deg2Gen++
+			d := 0
+			mark2[u] = deg2Gen
+			for _, x := range adjn[u] {
+				if mark2[x] != deg2Gen {
+					mark2[x] = deg2Gen
+					d++
+				}
+			}
+			for _, e := range adje[u] {
+				for _, x := range boundary[e] {
+					if !eliminated[x] && mark2[x] != deg2Gen {
+						mark2[x] = deg2Gen
+						d++
+					}
+				}
+			}
+			remove(u)
+			insert(u, d)
+			if d < minDeg {
+				minDeg = d
+			}
+		}
+	}
+	return perm
+}

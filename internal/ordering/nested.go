@@ -1,0 +1,159 @@
+package ordering
+
+import (
+	"sort"
+
+	"gesp/internal/sparse"
+)
+
+// NestedDissection computes a nested-dissection ordering of a symmetric
+// pattern (the paper's step (2) alternative: "We can also use nested
+// dissection on AᵀA or A+Aᵀ [17]"). Separators are found with a
+// breadth-first level bisection: BFS from a pseudo-peripheral vertex, cut
+// at the median level, and take the boundary as the separator. Each
+// separator is numbered last, recursively. Small subgraphs fall back to
+// minimum degree, as production ND codes do.
+func NestedDissection(p *sparse.Pattern) []int {
+	n := p.N
+	perm := make([]int, n)
+	vertices := make([]int, n)
+	for i := range vertices {
+		vertices[i] = i
+	}
+	next := n // next position to assign, counting down
+	var dissect func(verts []int)
+
+	// active marks the vertices of the current subproblem.
+	active := make([]int, n)
+	for i := range active {
+		active[i] = -1
+	}
+	gen := 0
+
+	const cutoff = 32
+
+	dissect = func(verts []int) {
+		if len(verts) == 0 {
+			return
+		}
+		if len(verts) <= cutoff {
+			sub := subPattern(p, verts)
+			mdPerm := MinimumDegree(sub)
+			// mdPerm is a local permutation; place the block at the tail
+			// of the available range.
+			base := next - len(verts)
+			for li, v := range verts {
+				perm[v] = base + mdPerm[li]
+			}
+			next = base
+			return
+		}
+		gen++
+		myGen := gen
+		for li, v := range verts {
+			active[v] = myGen
+			_ = li
+		}
+		// BFS from a pseudo-peripheral vertex within the subgraph.
+		depthOf := make(map[int]int, len(verts))
+		bfs := func(start int) (last, depth int) {
+			for k := range depthOf {
+				delete(depthOf, k)
+			}
+			queue := []int{start}
+			depthOf[start] = 0
+			last = start
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				last = v
+				depth = depthOf[v]
+				for k := p.Ptr[v]; k < p.Ptr[v+1]; k++ {
+					u := p.Ind[k]
+					if active[u] == myGen {
+						if _, ok := depthOf[u]; !ok {
+							depthOf[u] = depthOf[v] + 1
+							queue = append(queue, u)
+						}
+					}
+				}
+			}
+			return last, depth
+		}
+		// One far-hop gives a good-enough pseudo-peripheral root; the
+		// second BFS both measures the eccentricity and leaves depthOf
+		// rooted there.
+		far, _ := bfs(verts[0])
+		_, d := bfs(far)
+		// Disconnected subgraph: vertices unreached by the BFS form their
+		// own component; recurse on them separately.
+		var unreached []int
+		var reached []int
+		for _, v := range verts {
+			if _, ok := depthOf[v]; ok {
+				reached = append(reached, v)
+			} else {
+				unreached = append(unreached, v)
+			}
+		}
+		if len(unreached) > 0 {
+			dissect(unreached)
+			dissect(reached)
+			return
+		}
+		// Cut at the median level; the separator is the cut level itself.
+		cut := d / 2
+		var left, right, sep []int
+		for _, v := range verts {
+			switch dv := depthOf[v]; {
+			case dv < cut:
+				left = append(left, v)
+			case dv > cut:
+				right = append(right, v)
+			default:
+				sep = append(sep, v)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			// Degenerate split (e.g. a clique): fall back to minimum degree.
+			sub := subPattern(p, verts)
+			mdPerm := MinimumDegree(sub)
+			base := next - len(verts)
+			for li, v := range verts {
+				perm[v] = base + mdPerm[li]
+			}
+			next = base
+			return
+		}
+		// Separator is eliminated last.
+		sort.Ints(sep)
+		for i := len(sep) - 1; i >= 0; i-- {
+			next--
+			perm[sep[i]] = next
+		}
+		dissect(right)
+		dissect(left)
+	}
+	dissect(vertices)
+	return perm
+}
+
+// subPattern extracts the induced subgraph on verts with local indices.
+func subPattern(p *sparse.Pattern, verts []int) *sparse.Pattern {
+	local := make(map[int]int, len(verts))
+	for li, v := range verts {
+		local[v] = li
+	}
+	sub := &sparse.Pattern{N: len(verts), Ptr: make([]int, len(verts)+1)}
+	for li, v := range verts {
+		for k := p.Ptr[v]; k < p.Ptr[v+1]; k++ {
+			if lu, ok := local[p.Ind[k]]; ok {
+				sub.Ind = append(sub.Ind, lu)
+			}
+		}
+		seg := sub.Ind[sub.Ptr[li]:]
+		sort.Ints(seg)
+		sub.Ptr[li+1] = len(sub.Ind)
+	}
+	return sub
+}

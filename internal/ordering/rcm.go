@@ -1,0 +1,93 @@
+package ordering
+
+import (
+	"sort"
+
+	"gesp/internal/sparse"
+)
+
+// ReverseCuthillMcKee computes the RCM ordering of a symmetric pattern,
+// returning perm with perm[old] = new. Each connected component is started
+// from a pseudo-peripheral vertex found by repeated BFS.
+func ReverseCuthillMcKee(p *sparse.Pattern) []int {
+	n := p.N
+	degree := func(v int) int { return p.Ptr[v+1] - p.Ptr[v] }
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+
+	bfsDepth := func(start int, scratch []bool) (last, depth int) {
+		for i := range scratch {
+			scratch[i] = false
+		}
+		q := []int{start}
+		scratch[start] = true
+		last = start
+		for len(q) > 0 {
+			depth++
+			var nq []int
+			for _, v := range q {
+				last = v
+				for k := p.Ptr[v]; k < p.Ptr[v+1]; k++ {
+					u := p.Ind[k]
+					if !scratch[u] && !visited[u] {
+						scratch[u] = true
+						nq = append(nq, u)
+					}
+				}
+			}
+			q = nq
+		}
+		return last, depth
+	}
+
+	scratch := make([]bool, n)
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		// Pseudo-peripheral start: hop to the BFS-farthest vertex until the
+		// eccentricity stops growing, then start from the last far vertex.
+		cur := root
+		far, ecc := bfsDepth(cur, scratch)
+		for {
+			far2, ecc2 := bfsDepth(far, scratch)
+			if ecc2 <= ecc {
+				cur = far
+				break
+			}
+			cur, far, ecc = far, far2, ecc2
+		}
+		start := cur
+		// Cuthill–McKee BFS with neighbours sorted by ascending degree.
+		queue = queue[:0]
+		queue = append(queue, start)
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			nbrs := make([]int, 0, degree(v))
+			for k := p.Ptr[v]; k < p.Ptr[v+1]; k++ {
+				if u := p.Ind[k]; !visited[u] {
+					visited[u] = true
+					nbrs = append(nbrs, u)
+				}
+			}
+			sort.Slice(nbrs, func(a, b int) bool {
+				da, db := degree(nbrs[a]), degree(nbrs[b])
+				if da != db {
+					return da < db
+				}
+				return nbrs[a] < nbrs[b]
+			})
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse.
+	perm := make([]int, n)
+	for k, v := range order {
+		perm[v] = n - 1 - k
+	}
+	return perm
+}

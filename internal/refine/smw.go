@@ -1,0 +1,191 @@
+package refine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gesp/internal/lu"
+)
+
+// SMWSolver recovers solves with the original matrix A after GESP's
+// pivot replacements perturbed it: the factors represent
+// Ā = A + Σ δ_k·e_k·e_kᵀ, and the Sherman–Morrison–Woodbury formula gives
+//
+//	A⁻¹ = Ā⁻¹ + Ā⁻¹·U·(I − Vᵀ·Ā⁻¹·U)⁻¹·Vᵀ·Ā⁻¹
+//
+// with U = [δ_k·e_k] and V = [e_k]. This realizes the paper's future-work
+// proposal of aggressive pivot replacement with a low-rank correction at
+// the end: the factorization stays static, and each solve costs one extra
+// pass over a small dense capacitance system.
+type SMWSolver struct {
+	base *lu.Factors
+	cols []int       // perturbed pivot positions
+	z    [][]float64 // Z(:,k) = Ā⁻¹·(δ_k e_k)
+	zt   [][]float64 // Zt(:,k) = Ā⁻ᵀ·e_k, for transpose solves
+	cLU  *denseLU    // capacitance matrix C = I − Vᵀ·Z, factored
+	ctLU *denseLU    // Cᵀ factored with the transposed correction terms
+}
+
+// ErrSMWSingular indicates the capacitance matrix is singular, i.e. the
+// original matrix A itself is (numerically) singular even though the
+// perturbed Ā factored fine.
+var ErrSMWSingular = errors.New("refine: Sherman-Morrison-Woodbury capacitance matrix is singular")
+
+// NewSMWSolver builds the correction from the factors' recorded pivot
+// modifications. With no modifications the returned solver simply
+// delegates to the factors.
+func NewSMWSolver(f *lu.Factors) (*SMWSolver, error) {
+	m := len(f.PivotMods)
+	s := &SMWSolver{base: f}
+	if m == 0 {
+		return s, nil
+	}
+	n := f.Sym.N
+	s.cols = make([]int, m)
+	deltas := make([]float64, m)
+	for k, mod := range f.PivotMods {
+		s.cols[k] = mod.Col
+		deltas[k] = mod.New - mod.Old
+	}
+	// Z = Ā⁻¹·U (one solve per modified pivot).
+	s.z = make([][]float64, m)
+	s.zt = make([][]float64, m)
+	for k := 0; k < m; k++ {
+		zk := make([]float64, n)
+		zk[s.cols[k]] = deltas[k]
+		f.Solve(zk)
+		s.z[k] = zk
+		tk := make([]float64, n)
+		tk[s.cols[k]] = deltas[k]
+		f.SolveT(tk)
+		s.zt[k] = tk
+	}
+	// C = I − Vᵀ·Z, C[r][c] = δ(r,c) − Z[c][cols[r]].
+	c := make([][]float64, m)
+	ct := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		c[r] = make([]float64, m)
+		ct[r] = make([]float64, m)
+		for cc := 0; cc < m; cc++ {
+			c[r][cc] = -s.z[cc][s.cols[r]]
+			ct[r][cc] = -s.zt[cc][s.cols[r]]
+			if r == cc {
+				c[r][cc]++
+				ct[r][cc]++
+			}
+		}
+	}
+	var err error
+	if s.cLU, err = newDenseLU(c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSMWSingular, err)
+	}
+	if s.ctLU, err = newDenseLU(ct); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSMWSingular, err)
+	}
+	return s, nil
+}
+
+// Rank reports the rank of the recorded perturbation.
+func (s *SMWSolver) Rank() int { return len(s.cols) }
+
+// Solve overwrites x with A⁻¹x (the original, unperturbed matrix).
+func (s *SMWSolver) Solve(x []float64) {
+	s.base.Solve(x)
+	if len(s.cols) == 0 {
+		return
+	}
+	m := len(s.cols)
+	t := make([]float64, m)
+	for k := 0; k < m; k++ {
+		t[k] = x[s.cols[k]] // Vᵀ·Ā⁻¹·x
+	}
+	s.cLU.solve(t)
+	for k := 0; k < m; k++ {
+		if t[k] == 0 {
+			continue
+		}
+		zk := s.z[k]
+		for i := range x {
+			x[i] += zk[i] * t[k]
+		}
+	}
+}
+
+// SolveT overwrites x with A⁻ᵀx.
+func (s *SMWSolver) SolveT(x []float64) {
+	s.base.SolveT(x)
+	if len(s.cols) == 0 {
+		return
+	}
+	m := len(s.cols)
+	t := make([]float64, m)
+	for k := 0; k < m; k++ {
+		t[k] = x[s.cols[k]]
+	}
+	s.ctLU.solve(t)
+	for k := 0; k < m; k++ {
+		if t[k] == 0 {
+			continue
+		}
+		zk := s.zt[k]
+		for i := range x {
+			x[i] += zk[i] * t[k]
+		}
+	}
+}
+
+// denseLU is a small dense partial-pivoting LU for the capacitance system.
+type denseLU struct {
+	a    [][]float64
+	perm []int
+}
+
+func newDenseLU(a [][]float64) (*denseLU, error) {
+	n := len(a)
+	d := &denseLU{a: a, perm: make([]int, n)}
+	for i := range d.perm {
+		d.perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, pv := k, math.Abs(a[k][k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i][k]); v > pv {
+				p, pv = i, v
+			}
+		}
+		if pv == 0 {
+			return nil, fmt.Errorf("dense LU: zero pivot at %d", k)
+		}
+		a[k], a[p] = a[p], a[k]
+		d.perm[k], d.perm[p] = d.perm[p], d.perm[k]
+		for i := k + 1; i < n; i++ {
+			l := a[i][k] / a[k][k]
+			a[i][k] = l
+			for j := k + 1; j < n; j++ {
+				a[i][j] -= l * a[k][j]
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *denseLU) solve(b []float64) {
+	n := len(b)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[d.perm[i]]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= d.a[i][j] * x[j]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= d.a[i][j] * x[j]
+		}
+		x[i] /= d.a[i][i]
+	}
+	copy(b, x)
+}

@@ -1,0 +1,65 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The format parsers must never panic on malformed input — they guard a
+// CLI that reads user files. Run with `go test -fuzz=FuzzReadMatrixMarket`
+// to explore; the seed corpus runs in normal test mode.
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 -3e4\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 0.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999999999 2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 3 1.0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Whatever parses must satisfy the CSC invariants.
+		if err := a.Check(); err != nil {
+			t.Fatalf("parsed matrix violates invariants: %v", err)
+		}
+		// And must round-trip.
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ReadMatrixMarket(&buf); err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadHarwellBoeing(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteHarwellBoeing(&buf, Identity(3), "seed", "SEED"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("title                                                                   KEY00001\n" +
+		"             3             1             1             1             0\n" +
+		"RUA                        2             2             1             0\n" +
+		"(10I8)          (10I8)          (4E20.12)           (4E20.12)          \n" +
+		"       1       2       2\n       1\n  0.1E+01\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Add("t K\n1 1 1 1\nCUA 2 2 1\n(10I8) (10I8) (4E20.12)\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := ReadHarwellBoeing(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := a.Check(); err != nil {
+			t.Fatalf("parsed HB matrix violates invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHarwellBoeingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(40)
+		a := randomCSC(rng, n, 0.15)
+		var buf bytes.Buffer
+		if err := WriteHarwellBoeing(&buf, a, "round trip test matrix", "TEST0001"); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadHarwellBoeing(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n", trial, err)
+		}
+		if b.Rows != a.Rows || b.Cols != a.Cols || b.Nnz() != a.Nnz() {
+			t.Fatalf("trial %d: shape changed: %dx%d nnz=%d", trial, b.Rows, b.Cols, b.Nnz())
+		}
+		da, db := a.Dense(), b.Dense()
+		for i := range da {
+			for j := range da[i] {
+				if math.Abs(da[i][j]-db[i][j]) > 1e-11*math.Abs(da[i][j])+1e-300 {
+					t.Fatalf("trial %d: value changed at (%d,%d): %g vs %g", trial, i, j, da[i][j], db[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestHarwellBoeingFixture(t *testing.T) {
+	// Hand-written RSA fixture with Fortran D exponents (symmetric: must
+	// expand), in the classic fixed-column layout.
+	fixture := "symmetric fixture                                                       FIX00001\n" +
+		"             3             1             1             1             0\n" +
+		"RSA                        3             3             4             0\n" +
+		"(10I8)          (10I8)          (4D20.12)           (4D20.12)          \n" +
+		"       1       3       4       5\n" +
+		"       1       2       2       3\n" +
+		"  0.200000000000D+01 -0.100000000000D+01  0.300000000000D+01  0.400000000000D+01\n"
+	a, err := ReadHarwellBoeing(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.Cols != 3 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	if a.At(0, 0) != 2 {
+		t.Errorf("(0,0) = %g, want 2", a.At(0, 0))
+	}
+	if a.At(1, 0) != -1 || a.At(0, 1) != -1 {
+		t.Errorf("symmetric entry not expanded: %g / %g", a.At(1, 0), a.At(0, 1))
+	}
+	if a.At(1, 1) != 3 || a.At(2, 2) != 4 {
+		t.Errorf("diagonal wrong: %g %g", a.At(1, 1), a.At(2, 2))
+	}
+	if a.Nnz() != 5 {
+		t.Errorf("nnz = %d, want 5 after expansion", a.Nnz())
+	}
+}
+
+func TestHarwellBoeingRejectsUnsupported(t *testing.T) {
+	bad := "complex matrix                                                          BAD00001\n" +
+		"             3             1             1             1             0\n" +
+		"CUA                        2             2             1             0\n" +
+		"(10I8)          (10I8)          (4E20.12)           (4E20.12)          \n"
+	if _, err := ReadHarwellBoeing(strings.NewReader(bad)); err == nil {
+		t.Error("complex HB type accepted")
+	}
+	if _, err := ReadHarwellBoeing(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParseHBFormat(t *testing.T) {
+	cases := []struct {
+		in      string
+		per, w  int
+		wantErr bool
+	}{
+		{"(10I8)", 10, 8, false},
+		{"(4E20.12)", 4, 20, false},
+		{"(1P4E20.12)", 4, 20, false},
+		{"(26I3)", 26, 3, false},
+		{"(E25.16)", 1, 25, false},
+		{"(10F8.2)", 10, 8, false},
+		{"(bogus)", 0, 0, true},
+	}
+	for _, c := range cases {
+		f, err := parseHBFormat(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if f.perLine != c.per || f.width != c.w {
+			t.Errorf("%s: got %+v, want per=%d width=%d", c.in, f, c.per, c.w)
+		}
+	}
+}

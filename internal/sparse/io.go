@@ -1,0 +1,99 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes a in MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate real general") with 1-based indices.
+func WriteMatrixMarket(w io.Writer, a *CSC) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", a.Rows, a.Cols, a.Nnz()); err != nil {
+		return err
+	}
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", a.RowInd[k]+1, j+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file (real, general or
+// symmetric; symmetric inputs are expanded to full storage).
+func ReadMatrixMarket(r io.Reader) (*CSC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	symmetric := false
+	// Header line.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	header := strings.ToLower(sc.Text())
+	if !strings.HasPrefix(header, "%%matrixmarket") {
+		return nil, fmt.Errorf("sparse: missing MatrixMarket header")
+	}
+	if !strings.Contains(header, "coordinate") {
+		return nil, fmt.Errorf("sparse: only coordinate format supported")
+	}
+	if strings.Contains(header, "complex") || strings.Contains(header, "pattern") {
+		return nil, fmt.Errorf("sparse: only real-valued matrices supported")
+	}
+	if strings.Contains(header, "symmetric") {
+		symmetric = true
+	}
+	// Size line, skipping comments.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 || rows > 1<<28 || cols > 1<<28 || nnz > 1<<30 {
+		return nil, fmt.Errorf("sparse: implausible dimensions %d %d %d", rows, cols, nnz)
+	}
+	t := NewTriplet(rows, cols)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		v, err3 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range %dx%d", i, j, rows, cols)
+		}
+		t.Append(i-1, j-1, v)
+		if symmetric && i != j {
+			t.Append(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, found %d", nnz, read)
+	}
+	return t.ToCSC(), nil
+}

@@ -1,0 +1,238 @@
+// Package sparse provides the sparse-matrix kernel used throughout the GESP
+// solver: compressed sparse column (CSC) storage, a triplet builder,
+// transposition, permutation, pattern algebra (A+Aᵀ, AᵀA), matrix-vector
+// products, norms, symmetry statistics, and Matrix-Market-style I/O.
+//
+// Conventions: matrices are square unless stated otherwise, indices are
+// 0-based, and row indices within each CSC column are sorted ascending with
+// no duplicates.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CSC is a sparse matrix in compressed sparse column format.
+//
+// Column j occupies RowInd[ColPtr[j]:ColPtr[j+1]] and the parallel slice of
+// Val. Row indices within a column are sorted ascending and unique.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int // length Cols+1
+	RowInd     []int // length Nnz
+	Val        []float64
+}
+
+// Nnz reports the number of stored entries (including explicit zeros).
+func (a *CSC) Nnz() int { return a.ColPtr[a.Cols] }
+
+// Clone returns a deep copy of a.
+func (a *CSC) Clone() *CSC {
+	b := &CSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColPtr: append([]int(nil), a.ColPtr...),
+		RowInd: append([]int(nil), a.RowInd...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return b
+}
+
+// At returns the value at (i, j), or 0 if no entry is stored there.
+// It is O(log nnz(col j)) and intended for tests and small matrices.
+func (a *CSC) At(i, j int) float64 {
+	lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+	k := lo + sort.SearchInts(a.RowInd[lo:hi], i)
+	if k < hi && a.RowInd[k] == i {
+		return a.Val[k]
+	}
+	return 0
+}
+
+// Check validates the structural invariants of the CSC format.
+func (a *CSC) Check() error {
+	if a.Rows < 0 || a.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimension %dx%d", a.Rows, a.Cols)
+	}
+	if len(a.ColPtr) != a.Cols+1 {
+		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(a.ColPtr), a.Cols+1)
+	}
+	if a.ColPtr[0] != 0 {
+		return errors.New("sparse: ColPtr[0] != 0")
+	}
+	for j := 0; j < a.Cols; j++ {
+		if a.ColPtr[j] > a.ColPtr[j+1] {
+			return fmt.Errorf("sparse: ColPtr not monotone at column %d", j)
+		}
+		prev := -1
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowInd[k]
+			if i < 0 || i >= a.Rows {
+				return fmt.Errorf("sparse: row index %d out of range in column %d", i, j)
+			}
+			if i <= prev {
+				return fmt.Errorf("sparse: unsorted or duplicate row index %d in column %d", i, j)
+			}
+			prev = i
+		}
+	}
+	if len(a.RowInd) != a.Nnz() || len(a.Val) != a.Nnz() {
+		return fmt.Errorf("sparse: RowInd/Val length %d/%d, want %d", len(a.RowInd), len(a.Val), a.Nnz())
+	}
+	return nil
+}
+
+// Triplet accumulates (row, col, value) entries for conversion into CSC.
+// Duplicate coordinates are summed during conversion.
+type Triplet struct {
+	Rows, Cols int
+	rows, cols []int
+	vals       []float64
+}
+
+// NewTriplet returns an empty triplet builder for an r-by-c matrix.
+func NewTriplet(r, c int) *Triplet {
+	return &Triplet{Rows: r, Cols: c}
+}
+
+// Append adds entry (i, j) = v. It panics on out-of-range coordinates,
+// which are programming errors in generators rather than data errors.
+func (t *Triplet) Append(i, j int, v float64) {
+	if i < 0 || i >= t.Rows || j < 0 || j >= t.Cols {
+		panic(fmt.Sprintf("sparse: triplet entry (%d,%d) out of range %dx%d", i, j, t.Rows, t.Cols))
+	}
+	t.rows = append(t.rows, i)
+	t.cols = append(t.cols, j)
+	t.vals = append(t.vals, v)
+}
+
+// Len reports the number of accumulated entries (duplicates included).
+func (t *Triplet) Len() int { return len(t.vals) }
+
+// ToCSC converts the accumulated triplets to CSC form, summing duplicates.
+// Entries that sum exactly to zero are kept (explicit zeros matter for
+// static symbolic analysis).
+func (t *Triplet) ToCSC() *CSC {
+	nz := len(t.vals)
+	colCount := make([]int, t.Cols+1)
+	for _, j := range t.cols {
+		colCount[j+1]++
+	}
+	for j := 0; j < t.Cols; j++ {
+		colCount[j+1] += colCount[j]
+	}
+	// Bucket by column.
+	ri := make([]int, nz)
+	vv := make([]float64, nz)
+	next := append([]int(nil), colCount...)
+	for k := 0; k < nz; k++ {
+		p := next[t.cols[k]]
+		next[t.cols[k]]++
+		ri[p] = t.rows[k]
+		vv[p] = t.vals[k]
+	}
+	// Sort each column by row and merge duplicates.
+	a := &CSC{Rows: t.Rows, Cols: t.Cols, ColPtr: make([]int, t.Cols+1)}
+	a.RowInd = make([]int, 0, nz)
+	a.Val = make([]float64, 0, nz)
+	for j := 0; j < t.Cols; j++ {
+		lo, hi := colCount[j], colCount[j+1]
+		seg := colSorter{ri[lo:hi], vv[lo:hi]}
+		sort.Sort(seg)
+		for k := lo; k < hi; {
+			i := ri[k]
+			s := 0.0
+			for k < hi && ri[k] == i {
+				s += vv[k]
+				k++
+			}
+			a.RowInd = append(a.RowInd, i)
+			a.Val = append(a.Val, s)
+		}
+		a.ColPtr[j+1] = len(a.RowInd)
+	}
+	return a
+}
+
+type colSorter struct {
+	ri []int
+	vv []float64
+}
+
+func (s colSorter) Len() int           { return len(s.ri) }
+func (s colSorter) Less(i, j int) bool { return s.ri[i] < s.ri[j] }
+func (s colSorter) Swap(i, j int) {
+	s.ri[i], s.ri[j] = s.ri[j], s.ri[i]
+	s.vv[i], s.vv[j] = s.vv[j], s.vv[i]
+}
+
+// Transpose returns Aᵀ in CSC form (equivalently, A in CSR form).
+func (a *CSC) Transpose() *CSC {
+	t := &CSC{Rows: a.Cols, Cols: a.Rows, ColPtr: make([]int, a.Rows+1)}
+	nz := a.Nnz()
+	t.RowInd = make([]int, nz)
+	t.Val = make([]float64, nz)
+	for k := 0; k < nz; k++ {
+		t.ColPtr[a.RowInd[k]+1]++
+	}
+	for i := 0; i < a.Rows; i++ {
+		t.ColPtr[i+1] += t.ColPtr[i]
+	}
+	next := append([]int(nil), t.ColPtr...)
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowInd[k]
+			p := next[i]
+			next[i]++
+			t.RowInd[p] = j
+			t.Val[p] = a.Val[k]
+		}
+	}
+	return t // columns are produced in ascending row order, so sorted
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *CSC {
+	a := &CSC{Rows: n, Cols: n, ColPtr: make([]int, n+1), RowInd: make([]int, n), Val: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		a.ColPtr[j+1] = j + 1
+		a.RowInd[j] = j
+		a.Val[j] = 1
+	}
+	return a
+}
+
+// Dense expands a into a dense row-major matrix; for tests on small inputs.
+func (a *CSC) Dense() [][]float64 {
+	d := make([][]float64, a.Rows)
+	for i := range d {
+		d[i] = make([]float64, a.Cols)
+	}
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			d[a.RowInd[k]][j] = a.Val[k]
+		}
+	}
+	return d
+}
+
+// FromDense builds a CSC matrix from a dense row-major matrix, dropping
+// exact zeros.
+func FromDense(d [][]float64) *CSC {
+	r := len(d)
+	c := 0
+	if r > 0 {
+		c = len(d[0])
+	}
+	t := NewTriplet(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if d[i][j] != 0 {
+				t.Append(i, j, d[i][j])
+			}
+		}
+	}
+	return t.ToCSC()
+}

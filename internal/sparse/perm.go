@@ -1,0 +1,67 @@
+package sparse
+
+import "fmt"
+
+// IdentityPerm returns the identity permutation of length n.
+func IdentityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// CheckPerm verifies that p is a permutation of {0, …, n-1}.
+func CheckPerm(p []int, n int) error {
+	if len(p) != n {
+		return fmt.Errorf("sparse: permutation length %d, want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for i, v := range p {
+		if v < 0 || v >= n {
+			return fmt.Errorf("sparse: permutation entry p[%d]=%d out of range", i, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("sparse: permutation value %d repeated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// InversePerm returns q with q[p[i]] = i.
+func InversePerm(p []int) []int {
+	q := make([]int, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// ComposePerm returns the permutation r = q∘p, i.e. r[i] = q[p[i]]
+// (apply p first, then q).
+func ComposePerm(q, p []int) []int {
+	r := make([]int, len(p))
+	for i, v := range p {
+		r[i] = q[v]
+	}
+	return r
+}
+
+// PermuteVec returns y with y[p[i]] = x[i] (p maps old index to new index).
+func PermuteVec(p []int, x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range p {
+		y[v] = x[i]
+	}
+	return y
+}
+
+// UnpermuteVec returns y with y[i] = x[p[i]], the inverse of PermuteVec.
+func UnpermuteVec(p []int, x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range p {
+		y[i] = x[v]
+	}
+	return y
+}

@@ -1,0 +1,95 @@
+package superlu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gesp/internal/lu"
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+func randomSystem(rng *rand.Rand, n int, density float64) (*sparse.CSC, *symbolic.Result) {
+	tr := sparse.NewTriplet(n, n)
+	for j := 0; j < n; j++ {
+		tr.Append(j, j, 4+rng.Float64())
+		for i := 0; i < n; i++ {
+			if i != j && rng.Float64() < density {
+				tr.Append(i, j, rng.NormFloat64()*0.5)
+			}
+		}
+	}
+	a := tr.ToCSC()
+	sym, err := symbolic.Factorize(a, symbolic.Options{MaxSuper: 8})
+	if err != nil {
+		panic(err)
+	}
+	return a, sym
+}
+
+func TestSupernodalMatchesColumnFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 60 + rng.Intn(100)
+		a, sym := randomSystem(rng, n, 0.06)
+		col, err := lu.Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := a.MaxAbs()
+		for q := range col.LVal {
+			if d := math.Abs(col.LVal[q] - blk.LVal[q]); d > 1e-10*scale {
+				t.Fatalf("trial %d: L diverges by %g at %d", trial, d, q)
+			}
+		}
+		for p := range col.UVal {
+			if d := math.Abs(col.UVal[p] - blk.UVal[p]); d > 1e-10*scale {
+				t.Fatalf("trial %d: U diverges by %g at %d", trial, d, p)
+			}
+		}
+	}
+}
+
+func TestSupernodalSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a, sym := randomSystem(rng, 150, 0.05)
+	f, err := Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, a.Rows)
+	for i := range want {
+		want[i] = float64(i%9) - 4
+	}
+	b := make([]float64, a.Rows)
+	a.MatVec(b, want)
+	f.Solve(b)
+	if e := sparse.RelErrInf(b, want); e > 1e-9 {
+		t.Fatalf("blocked factors solve error %g", e)
+	}
+}
+
+func TestSupernodalZeroPivot(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2)
+	tr.Append(0, 1, 1)
+	tr.Append(1, 0, 1)
+	tr.Append(0, 0, 0)
+	tr.Append(1, 1, 0)
+	a := tr.ToCSC()
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	if _, err := Factorize(a, sym, lu.Options{}); err == nil {
+		t.Error("zero pivot accepted without replacement")
+	}
+	f, err := Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TinyPivots == 0 {
+		t.Error("tiny pivots not counted")
+	}
+}

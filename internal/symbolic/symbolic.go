@@ -1,0 +1,292 @@
+// Package symbolic performs the static symbolic LU factorization at the
+// heart of GESP: because step (3) of the algorithm never pivots, the
+// nonzero patterns of L and U, the supernode partition, the elimination
+// structures and the entire communication pattern of the distributed
+// algorithm can be computed once, before any numeric work.
+//
+// The fill pattern is computed column by column as the reachable set of
+// the column's nonzeros through the directed graph of the already-known L
+// columns (Gilbert–Peierls reachability), accelerated with Eisenstat–Liu
+// symmetric pruning.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+
+	"gesp/internal/sparse"
+)
+
+// Options tune the symbolic analysis.
+type Options struct {
+	// MaxSuper caps the number of columns in a supernode. The paper found
+	// 20–30 best on the T3E and used 24; 0 means DefaultMaxSuper.
+	MaxSuper int
+	// Relax allows amalgamating a supernode of up to Relax columns whose
+	// patterns are merely nested rather than identical (relaxed supernodes
+	// for better block granularity). 0 disables relaxation.
+	Relax int
+}
+
+// DefaultMaxSuper is the paper's block-size choice.
+const DefaultMaxSuper = 24
+
+// Result is the static elimination structure of a matrix.
+type Result struct {
+	N int
+	// LPtr/LInd hold the strictly-lower pattern of each column of L,
+	// sorted ascending. L has an implied unit diagonal.
+	LPtr, LInd []int
+	// UPtr/UInd hold the upper pattern of each column of U including the
+	// diagonal, sorted ascending (the diagonal is the last entry).
+	UPtr, UInd []int
+	// Parent is the column elimination forest: Parent[j] is the first
+	// strictly-lower row index of L(:,j), or -1 for a root.
+	Parent []int
+	// SupPtr gives the supernode partition: supernode s spans columns
+	// SupPtr[s] .. SupPtr[s+1]-1. SupOf maps a column to its supernode.
+	SupPtr []int
+	SupOf  []int
+	// Flops counts the multiply-add and divide operations of the numeric
+	// factorization that this structure implies.
+	Flops int64
+	// URowCount caches the strictly-upper entries per U row; computed
+	// lazily by consumers that sweep trailing blocks (dense-tail switch).
+	URowCount []int
+}
+
+// NnzL reports the number of stored strictly-lower entries of L.
+func (r *Result) NnzL() int { return r.LPtr[r.N] }
+
+// NnzU reports the number of stored entries of U including the diagonal.
+func (r *Result) NnzU() int { return r.UPtr[r.N] }
+
+// FillLU reports nnz(L+U) counting the unit diagonal of L once, the
+// quantity plotted in the paper's Figure 2.
+func (r *Result) FillLU() int { return r.NnzL() + r.NnzU() }
+
+// NumSupernodes reports the number of supernodes in the partition.
+func (r *Result) NumSupernodes() int { return len(r.SupPtr) - 1 }
+
+// AvgSupernode reports the average supernode width in columns (TWOTONE's
+// pathology in the paper is an average of 2.4).
+func (r *Result) AvgSupernode() float64 {
+	if r.NumSupernodes() == 0 {
+		return 0
+	}
+	return float64(r.N) / float64(r.NumSupernodes())
+}
+
+// Factorize computes the static fill pattern of the (already permuted and
+// scaled) matrix a, assuming the diagonal pivot order. The diagonal is
+// treated as structurally nonzero even when absent from a, matching GESP's
+// tiny-pivot replacement which guarantees a usable pivot.
+func Factorize(a *sparse.CSC, opts Options) (*Result, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("symbolic: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	maxSuper := opts.MaxSuper
+	if maxSuper <= 0 {
+		maxSuper = DefaultMaxSuper
+	}
+
+	res := &Result{
+		N:      n,
+		LPtr:   make([]int, n+1),
+		UPtr:   make([]int, n+1),
+		Parent: make([]int, n),
+	}
+	// prunedLen[k]: prefix of L(:,k) that reachability must traverse; the
+	// suffix is provably reachable through earlier rows (symmetric pruning).
+	prunedLen := make([]int, n)
+	pruned := make([]bool, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	stack := make([]int, 0, 64)
+	frame := make([]int, 0, 64) // adjacency cursor per stack level
+	lset := make([]int, 0, 64)
+	uset := make([]int, 0, 64)
+
+	for j := 0; j < n; j++ {
+		lset, uset = lset[:0], uset[:0]
+		mark[j] = j // the diagonal is always structural
+		// DFS from every nonzero of A(:,j).
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			root := a.RowInd[k]
+			if mark[root] == j {
+				continue
+			}
+			mark[root] = j
+			if root >= j {
+				lset = append(lset, root)
+				continue
+			}
+			uset = append(uset, root)
+			// Iterative DFS through columns < j.
+			stack = append(stack[:0], root)
+			frame = append(frame[:0], res.LPtr[root])
+			for len(stack) > 0 {
+				top := len(stack) - 1
+				col := stack[top]
+				cur := frame[top]
+				end := res.LPtr[col] + prunedLen[col]
+				advanced := false
+				for ; cur < end; cur++ {
+					i := res.LInd[cur]
+					if mark[i] == j {
+						continue
+					}
+					mark[i] = j
+					if i >= j {
+						lset = append(lset, i)
+						continue
+					}
+					uset = append(uset, i)
+					frame[top] = cur + 1
+					stack = append(stack, i)
+					frame = append(frame, res.LPtr[i])
+					advanced = true
+					break
+				}
+				if !advanced {
+					stack = stack[:top]
+					frame = frame[:top]
+				}
+			}
+		}
+		sort.Ints(lset)
+		sort.Ints(uset)
+		// Store column j: strictly-lower rows of L exclude the diagonal.
+		for _, i := range lset {
+			if i > j {
+				res.LInd = append(res.LInd, i)
+			}
+		}
+		res.LPtr[j+1] = len(res.LInd)
+		res.UInd = append(res.UInd, uset...)
+		res.UInd = append(res.UInd, j) // diagonal pivot lives in U
+		res.UPtr[j+1] = len(res.UInd)
+		prunedLen[j] = res.LPtr[j+1] - res.LPtr[j]
+
+		if res.LPtr[j+1] > res.LPtr[j] {
+			res.Parent[j] = res.LInd[res.LPtr[j]]
+		} else {
+			res.Parent[j] = -1
+		}
+
+		// Symmetric pruning: for each k with U(k,j) != 0, if L(j,k) != 0
+		// then paths through rows of L(:,k) beyond j are covered via j.
+		for _, k := range uset {
+			if pruned[k] {
+				continue
+			}
+			lo, hi := res.LPtr[k], res.LPtr[k]+prunedLen[k]
+			seg := res.LInd[lo:hi]
+			idx := sort.SearchInts(seg, j)
+			if idx < len(seg) && seg[idx] == j {
+				prunedLen[k] = idx + 1
+				pruned[k] = true
+			}
+		}
+	}
+
+	res.buildSupernodes(maxSuper, opts.Relax)
+	res.countFlops()
+	return res, nil
+}
+
+// buildSupernodes detects T2 supernodes (identical strictly-lower
+// structure after dropping the leading row) and splits runs longer than
+// maxSuper so block granularity stays suitable for parallel distribution.
+func (r *Result) buildSupernodes(maxSuper, relax int) {
+	n := r.N
+	r.SupOf = make([]int, n)
+	r.SupPtr = r.SupPtr[:0]
+	if n == 0 {
+		r.SupPtr = append(r.SupPtr, 0)
+		return
+	}
+	r.SupPtr = append(r.SupPtr, 0)
+	start := 0
+	for j := 1; j < n; j++ {
+		if j-start >= maxSuper || !r.sameSupernode(j-1, j, relax) {
+			r.SupPtr = append(r.SupPtr, j)
+			start = j
+		}
+	}
+	r.SupPtr = append(r.SupPtr, n)
+	for s := 0; s+1 < len(r.SupPtr); s++ {
+		for j := r.SupPtr[s]; j < r.SupPtr[s+1]; j++ {
+			r.SupOf[j] = s
+		}
+	}
+}
+
+// sameSupernode reports whether column j extends the supernode ending at
+// column j-1: L(:,j) must equal L(:,j-1) minus row j (dense diagonal
+// block, identical structure below). With relaxation, up to relax rows of
+// slack are tolerated provided L(:,j) ⊆ L(:,j-1)\{j}.
+func (r *Result) sameSupernode(jm1, j, relax int) bool {
+	lo1, hi1 := r.LPtr[jm1], r.LPtr[jm1+1]
+	lo2, hi2 := r.LPtr[j], r.LPtr[j+1]
+	// Row j must head the previous column (dense diagonal block).
+	if hi1 == lo1 || r.LInd[lo1] != j {
+		return false
+	}
+	n1 := hi1 - lo1 - 1 // previous column minus its leading row j
+	n2 := hi2 - lo2
+	if n2 > n1 || n1-n2 > relax {
+		return false
+	}
+	if n1 == n2 {
+		for k := 0; k < n2; k++ {
+			if r.LInd[lo2+k] != r.LInd[lo1+1+k] {
+				return false
+			}
+		}
+		return true
+	}
+	// Relaxed: subset check over sorted slices.
+	p := lo1 + 1
+	for k := lo2; k < hi2; k++ {
+		for p < hi1 && r.LInd[p] < r.LInd[k] {
+			p++
+		}
+		if p == hi1 || r.LInd[p] != r.LInd[k] {
+			return false
+		}
+		p++
+	}
+	return true
+}
+
+// countFlops tallies the floating-point operations of the numeric
+// factorization: for each pivot column k, one division per strictly-lower
+// entry and a multiply-add pair per (L(i,k), U(k,j)) product.
+func (r *Result) countFlops() {
+	n := r.N
+	urow := make([]int64, n) // off-diagonal entries in row k of U
+	for j := 0; j < n; j++ {
+		for p := r.UPtr[j]; p < r.UPtr[j+1]; p++ {
+			if k := r.UInd[p]; k != j {
+				urow[k]++
+			}
+		}
+	}
+	var flops int64
+	for k := 0; k < n; k++ {
+		lcnt := int64(r.LPtr[k+1] - r.LPtr[k])
+		flops += lcnt               // divisions
+		flops += 2 * lcnt * urow[k] // outer-product multiply-adds
+	}
+	r.Flops = flops
+}
+
+// LColRows returns the strictly-lower row pattern of L(:,j).
+func (r *Result) LColRows(j int) []int { return r.LInd[r.LPtr[j]:r.LPtr[j+1]] }
+
+// UColRows returns the row pattern of U(:,j) including the diagonal.
+func (r *Result) UColRows(j int) []int { return r.UInd[r.UPtr[j]:r.UPtr[j+1]] }

@@ -1,0 +1,49 @@
+package zsparse
+
+import (
+	"math"
+	"math/rand"
+)
+
+// QuantumChem synthesizes the paper's §4 application workload: a complex
+// unsymmetric system of the Green's-function form (σI − H), where H is a
+// tight-binding Hamiltonian on an nx×ny×nz lattice with complex hopping
+// terms and σ a complex energy shift (nonzero imaginary part, as in
+// linear-response quantum chemistry). The system is unsymmetric because
+// forward and backward hoppings carry conjugate-asymmetric phases.
+func QuantumChem(nx, ny, nz int, sigma complex128, rng *rand.Rand) *CSC {
+	n := nx * ny * nz
+	t := NewTriplet(n, n)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	hop := func() complex128 {
+		phase := 2 * math.Pi * rng.Float64()
+		mag := 0.8 + 0.4*rng.Float64()
+		return complex(mag*math.Cos(phase), mag*math.Sin(phase))
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				c := id(i, j, k)
+				onsite := complex(4*rng.Float64()-2, 0)
+				t.Append(c, c, sigma-onsite)
+				couple := func(o int) {
+					h := hop()
+					t.Append(c, o, -h)
+					// Asymmetric reverse hopping (breaks Hermitian
+					// symmetry, keeping the system genuinely unsymmetric).
+					t.Append(o, c, -h*complex(1, 0.1*rng.NormFloat64()))
+				}
+				if i+1 < nx {
+					couple(id(i+1, j, k))
+				}
+				if j+1 < ny {
+					couple(id(i, j+1, k))
+				}
+				if k+1 < nz {
+					couple(id(i, j, k+1))
+				}
+			}
+		}
+	}
+	return t.ToCSC()
+}
