@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrent engines: the DAG-scheduled shared-memory
+# factorization and the level-scheduled triangular solves.
+race:
+	$(GO) test -race -short ./internal/sched/... ./internal/lu/...
+
+# The full pre-commit gate: static checks, build, the complete test
+# suite, and the race detector over the concurrent packages.
+verify: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem .

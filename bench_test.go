@@ -9,7 +9,9 @@
 package gesp_test
 
 import (
+	"fmt"
 	"math/rand"
+	"time"
 
 	"testing"
 
@@ -362,6 +364,50 @@ func BenchmarkComplexQuantumChem(b *testing.B) {
 		berr = s.Stats().Berr
 	}
 	b.ReportMetric(berr, "berr")
+}
+
+func BenchmarkParallelFactorSpeedup(b *testing.B) {
+	// The DAG-scheduled shared-memory engine vs the serial blocked engine
+	// on the largest testbed matrix, sweeping worker counts. The
+	// speedup-vs-serial metric is wall-clock of dist.FactorizeBlocked
+	// divided by wall-clock of superlu.FactorizeParallel; on a
+	// single-core machine it degenerates to the scheduler's overhead
+	// ratio.
+	m, _ := matgen.Lookup("BBMAT")
+	a := m.Generate(benchScale)
+	s, err := core.NewAnalysis(a, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ap, sym := s.PermutedMatrix(), s.Symbolic()
+	opts := lu.Options{ReplaceTinyPivot: true}
+
+	// Serial blocked baseline: best of three.
+	serialNs := int64(0)
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		if _, _, err := dist.FactorizeBlocked(ap, sym, opts); err != nil {
+			b.Fatal(err)
+		}
+		if ns := time.Since(t0).Nanoseconds(); serialNs == 0 || ns < serialNs {
+			serialNs = ns
+		}
+	}
+	b.ReportMetric(float64(serialNs)/1e6, "serial-blocked-ms")
+
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := superlu.FactorizeParallel(ap, sym, opts, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(serialNs)/perOp, "speedup-vs-serial")
+			}
+		})
+	}
 }
 
 func BenchmarkSupernodalVsColumnFactor(b *testing.B) {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,12 +26,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gesp-bench: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape")
-		scale  = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
-		procsF = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
-		p5     = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
+		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor")
+		scale    = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
+		procsF   = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
+		p5       = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
+		jsonOut  = flag.Bool("json", false, "emit the parfactor sweep as machine-readable JSON on stdout (matrix, variant, workers, wall_ns, simulated_ns, mflops) and exit")
+		workersF = flag.String("workers", "1,2,4,8", "worker sweep for the parfactor experiment")
+		matsF    = flag.String("matrices", "AF23560,BBMAT,EX11", "matrices for the parfactor experiment")
 	)
 	flag.Parse()
+
+	workers, err := parseProcs(*workersF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parfactor := func() []experiments.ParFactorRow {
+		rows, err := experiments.ParallelFactorSweep(splitNames(*matsF), *scale, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rows
+	}
+	if *jsonOut {
+		// Machine-readable mode: JSON rows only, suitable for a
+		// BENCH_*.json perf trajectory (gesp-bench -json > BENCH_date.json).
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(parfactor()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	procs, err := parseProcs(*procsF)
 	if err != nil {
@@ -42,6 +68,7 @@ func main() {
 		"table2": true, "table3": true, "table4": true, "table5": true,
 		"edag": true, "pipeline": true, "nopivot": true, "blocksize": true,
 		"ordering": true, "iterative": true, "relax": true, "redist": true, "gridshape": true,
+		"parfactor": true,
 	}
 	if !known[*exp] {
 		log.Fatalf("unknown experiment %q (see -h for the list)", *exp)
@@ -164,6 +191,7 @@ func main() {
 			fmt.Fprintf(w, "%-10s %12.4f %12.4f %10d %12d\n", r.Name, r.RedistTime, r.FactorTime, r.RedistMsgs, r.RedistBytes)
 		}
 	})
+	section("parfactor", func() { experiments.PrintParFactor(w, parfactor()) })
 	section("iterative", func() {
 		rows, err := experiments.IterativeAblation(
 			[]string{"AF23560", "MEMPLUS", "GEMAT11", "WEST2021", "SHERMAN4", "ONETONE1"}, *scale)
@@ -172,6 +200,16 @@ func main() {
 		}
 		experiments.PrintIterative(w, rows)
 	})
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func parseProcs(s string) ([]int, error) {

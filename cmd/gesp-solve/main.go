@@ -45,6 +45,7 @@ func main() {
 		extraPrec  = flag.Bool("extra-precision", false, "compensated residuals in refinement")
 		ord        = flag.String("ordering", "mmd-ata", "fill-reducing ordering: mmd-ata, mmd-at+a, rcm, nd-ata, nd-at+a, natural")
 		ferr       = flag.Bool("ferr", false, "estimate the componentwise forward error bound (expensive)")
+		workers    = flag.Int("workers", 0, "shared-memory workers for the factorization and solves (0 = serial; >1 uses the DAG-scheduled parallel engine)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		AggressivePivot:  *aggressive,
 		Refine:           !*noRefine,
 		ExtraPrecision:   *extraPrec,
+		Workers:          *workers,
 	}
 	switch *ord {
 	case "mmd-ata":

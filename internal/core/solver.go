@@ -26,6 +26,7 @@ import (
 	"gesp/internal/ordering"
 	"gesp/internal/refine"
 	"gesp/internal/sparse"
+	"gesp/internal/superlu"
 	"gesp/internal/symbolic"
 )
 
@@ -59,6 +60,13 @@ type Options struct {
 	// given slack (the paper's §5: "uniprocessor performance can also be
 	// improved by amalgamating small supernodes into large ones").
 	Relax int
+	// Workers sets the shared-memory parallelism: 0 (or 1) runs the
+	// serial scalar engine; >1 runs the DAG-scheduled supernodal
+	// factorization (superlu.FactorizeParallel) and level-scheduled
+	// triangular solves on that many goroutines. AggressivePivot forces
+	// the serial engine regardless — the block kernels do not record the
+	// rank-one pivot perturbations SMW recovery needs.
+	Workers int
 }
 
 // DefaultOptions returns the paper's recommended configuration.
@@ -225,14 +233,24 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 		return s, nil
 	}
 
-	// Step (3): numeric factorization with static pivoting.
+	// Step (3): numeric factorization with static pivoting. Workers > 1
+	// selects the DAG-scheduled shared-memory supernodal engine; the
+	// aggressive-pivot/SMW workflow needs the scalar kernels' PivotMods
+	// bookkeeping, so it stays serial.
 	t0 = time.Now()
-	fac, err := lu.Factorize(work, sym, lu.Options{
+	luOpts := lu.Options{
 		ReplaceTinyPivot: opts.ReplaceTinyPivot,
 		Aggressive:       opts.AggressivePivot,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: factorization: %w", err)
+	}
+	var fac *lu.Factors
+	var err2 error
+	if opts.Workers > 1 && !opts.AggressivePivot {
+		fac, err2 = superlu.FactorizeParallel(work, sym, luOpts, opts.Workers)
+	} else {
+		fac, err2 = lu.Factorize(work, sym, luOpts)
+	}
+	if err2 != nil {
+		return nil, fmt.Errorf("core: factorization: %w", err2)
 	}
 	s.stats.Times.Factor = time.Since(t0)
 	s.stats.TinyPivots = fac.TinyPivots
@@ -240,6 +258,12 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 
 	s.fac = fac
 	s.sys = fac
+	if opts.Workers > 1 {
+		// Refinement-driven triangular solves also run parallel: the
+		// level schedule exposes the solve DAG's concurrency the same way
+		// sched exposes the factorization's.
+		s.sys = &parallelSystem{f: fac, ls: fac.NewLevelSchedule(), workers: opts.Workers}
+	}
 	if opts.AggressivePivot && fac.TinyPivots > 0 {
 		smw, err := refine.NewSMWSolver(fac)
 		if err != nil {
@@ -249,6 +273,17 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 	}
 	return s, nil
 }
+
+// parallelSystem runs the level-scheduled triangular solves on a worker
+// pool; transpose solves (condition estimation only) stay serial.
+type parallelSystem struct {
+	f       *lu.Factors
+	ls      *lu.LevelSchedule
+	workers int
+}
+
+func (p *parallelSystem) Solve(x []float64)  { p.f.ParallelSolve(p.ls, x, p.workers) }
+func (p *parallelSystem) SolveT(x []float64) { p.f.SolveT(x) }
 
 // DistSolve factors and solves on a simulated distributed-memory machine
 // (the paper's Section 3). The preprocessing and symbolic analysis of

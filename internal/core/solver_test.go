@@ -331,3 +331,43 @@ func TestDistSolveMatchesSerialSolve(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelWorkersMatchesSerial(t *testing.T) {
+	// Workers > 1 swaps in the DAG-scheduled factorization and the
+	// level-scheduled solves; the solution must agree with the serial
+	// engine to refinement accuracy, and refinement must still converge.
+	for _, name := range []string{"MEMPLUS", "WANG4", "TWOTONE"} {
+		m, _ := matgen.Lookup(name)
+		a := m.Generate(0.15)
+		b := matgen.OnesRHS(a)
+
+		serial, err := New(a, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		xs, err := serial.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		popts := DefaultOptions()
+		popts.Workers = 4
+		par, err := New(a, popts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		xp, err := par.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := sparse.RelErrInf(xp, xs); e > 1e-8 {
+			t.Errorf("%s: parallel vs serial solution differs by %g", name, e)
+		}
+		if berr := par.Stats().Berr; berr > 1e-10 {
+			t.Errorf("%s: parallel berr = %g, want near eps", name, berr)
+		}
+		if !par.Stats().Converged {
+			t.Errorf("%s: parallel refinement did not converge", name)
+		}
+	}
+}

@@ -156,42 +156,117 @@ func lookup(ids []int, v int) int {
 	return -1
 }
 
+// UpdateScratch holds the reusable work buffers of RankBUpdateInto: the
+// dense product accumulator and the row/column index maps. One scratch
+// per worker (or one for the whole serial engine) removes every per-call
+// allocation from the Schur-update hot path.
+type UpdateScratch struct {
+	prod   []float64
+	rowMap []int
+	colMap []int
+}
+
+func (ws *UpdateScratch) ensure(nr, nc int) {
+	if cap(ws.prod) < nr*nc {
+		ws.prod = make([]float64, nr*nc)
+	}
+	if cap(ws.rowMap) < nr {
+		ws.rowMap = make([]int, nr)
+	}
+	if cap(ws.colMap) < nc {
+		ws.colMap = make([]int, nc)
+	}
+	ws.prod = ws.prod[:nr*nc]
+	ws.rowMap = ws.rowMap[:nr]
+	ws.colMap = ws.colMap[:nc]
+}
+
+// updateRowTile is the row strip height of the blocked product: a
+// 192-row strip of a maximally wide (24-column) L panel is ~36 KB, so
+// the strip stays cache-resident while every U column sweeps over it.
+const updateRowTile = 192
+
 // RankBUpdate applies the Schur-complement update
-// target -= L(I,K)·U(K,J) for this target block (I,J). Rows of l and
-// columns of u are located in the target through its global index sets.
-// With strict T2 supernodes every position exists; with relaxed
-// (amalgamated) supernodes a row or column of the operand blocks may be
-// absent from the target — those contributions are provably zero (the
-// corresponding L or U entries are structural-zero padding), so they are
-// skipped. Returns the flop count.
+// target -= L(I,K)·U(K,J) for this target block (I,J), allocating its
+// own scratch. Hot paths should hold an UpdateScratch and call
+// RankBUpdateInto instead.
 func (t *Block) RankBUpdate(l, u *Block) int64 {
+	var ws UpdateScratch
+	return t.RankBUpdateInto(l, u, &ws)
+}
+
+// RankBUpdateInto applies target -= L(I,K)·U(K,J) using ws as scratch.
+// Rows of l and columns of u are located in the target through its
+// global index sets. With strict T2 supernodes every position exists;
+// with relaxed (amalgamated) supernodes a row or column of the operand
+// blocks may be absent from the target — those contributions are
+// provably zero (the corresponding L or U entries are structural-zero
+// padding), so they are skipped. The product is accumulated densely in
+// row strips (cache blocking) and scattered into the target once,
+// keeping the innermost loops branch-free and contiguous. Returns the
+// flop count.
+func (t *Block) RankBUpdateInto(l, u *Block, ws *UpdateScratch) int64 {
 	nrL, nrT := l.NR(), t.NR()
-	// Precompute local row mapping once per call.
-	rowMap := make([]int, nrL)
+	ncU, nrU := u.NC(), u.NR()
+	bk := l.NC() // supernode K width; equals u.NR()
+	ws.ensure(nrL, ncU)
+	rowMap, colMap, prod := ws.rowMap, ws.colMap, ws.prod
 	for i, r := range l.Rows {
 		rowMap[i] = lookup(t.Rows, r)
 	}
-	bk := l.NC() // supernode K width; equals u.NR()
+	nMapped := 0
+	for c, cGlobal := range u.Cols {
+		colMap[c] = lookup(t.Cols, cGlobal)
+		if colMap[c] >= 0 {
+			nMapped++
+		}
+	}
+	if nMapped == 0 {
+		return 0
+	}
+
 	var flops int64
-	for cu, cGlobal := range u.Cols {
-		tc := lookup(t.Cols, cGlobal)
+	for r0 := 0; r0 < nrL; r0 += updateRowTile {
+		r1 := r0 + updateRowTile
+		if r1 > nrL {
+			r1 = nrL
+		}
+		for c := 0; c < ncU; c++ {
+			if colMap[c] < 0 {
+				continue
+			}
+			ucol := u.Val[c*nrU : (c+1)*nrU]
+			pcol := prod[c*nrL : (c+1)*nrL]
+			for i := r0; i < r1; i++ {
+				pcol[i] = 0
+			}
+			for k := 0; k < bk; k++ {
+				ukc := ucol[k]
+				if ukc == 0 {
+					continue
+				}
+				lcol := l.Val[k*nrL : (k+1)*nrL]
+				for i := r0; i < r1; i++ {
+					pcol[i] += lcol[i] * ukc
+				}
+				if r0 == 0 {
+					flops += 2 * int64(nrL)
+				}
+			}
+		}
+	}
+	// Scatter-subtract the dense product through the index maps.
+	for c := 0; c < ncU; c++ {
+		tc := colMap[c]
 		if tc < 0 {
 			continue
 		}
 		tcol := t.Val[tc*nrT : (tc+1)*nrT]
-		ucol := u.Val[cu*u.NR() : (cu+1)*u.NR()]
-		for k := 0; k < bk; k++ {
-			ukc := ucol[k]
-			if ukc == 0 {
-				continue
+		pcol := prod[c*nrL : (c+1)*nrL]
+		for i := 0; i < nrL; i++ {
+			if ti := rowMap[i]; ti >= 0 {
+				tcol[ti] -= pcol[i]
 			}
-			lcol := l.Val[k*nrL : (k+1)*nrL]
-			for i := 0; i < nrL; i++ {
-				if ti := rowMap[i]; ti >= 0 {
-					tcol[ti] -= lcol[i] * ukc
-				}
-			}
-			flops += 2 * int64(nrL)
 		}
 	}
 	return flops

@@ -11,54 +11,59 @@ import (
 // Serial blocked factorization: the same right-looking block schedule as
 // the distributed algorithm, executed in-process with no messaging. This
 // is the SuperLU-style uniprocessor engine (dense kernels over the
-// supernode partition) and the reference the distributed code is tested
-// against.
+// supernode partition) and the reference both the distributed code and
+// the sched worker pool are tested against.
 
 // BlockSet is a read view over the factored blocks.
 type BlockSet struct {
-	ns     int
-	blocks map[int]*Block
+	g *BlockGrid
 }
 
+// NewBlockSet wraps a factored grid for read access (the sched engine
+// returns its result this way).
+func NewBlockSet(g *BlockGrid) *BlockSet { return &BlockSet{g: g} }
+
 // At returns the factored value at global (i, j) inside block (bi, bj).
-func (s *BlockSet) At(bi, bj, i, j int) float64 {
-	return s.blocks[bi*s.ns+bj].At(i, j)
-}
+func (s *BlockSet) At(bi, bj, i, j int) float64 { return s.g.At(bi, bj, i, j) }
 
 // FactorizeBlocked runs the blocked right-looking GESP factorization
 // serially over the static structure, returning the factored blocks and
-// the number of replaced tiny pivots. The Aggressive option is not
-// supported by the block kernels (use lu.Factorize for SMW workflows).
+// the number of replaced tiny pivots. Only blocks present in the static
+// fill structure are allocated (the grid holds no storage for absent
+// blocks), and one scratch buffer is reused across every Schur update.
+// The Aggressive option is not supported by the block kernels (use
+// lu.Factorize for SMW workflows).
 func FactorizeBlocked(a *sparse.CSC, sym *symbolic.Result, opts lu.Options) (*BlockSet, int, error) {
 	st := BuildStructure(sym)
-	ns := st.N
-	blocks := st.ScatterA(a, func(i, j int) bool { return true })
+	g := NewGrid(st)
+	g.Scatter(a)
 	thresh := opts.Threshold
 	if thresh == 0 {
 		thresh = defaultThreshold(a, 0)
 	}
 	tiny := 0
-	for k := 0; k < ns; k++ {
-		diag := blocks[k*ns+k]
+	var ws UpdateScratch
+	for k := 0; k < st.N; k++ {
+		diag := g.Diag[k]
 		t, _, ok := diag.FactorDiag(thresh, opts.ReplaceTinyPivot)
 		if !ok {
 			return nil, tiny, fmt.Errorf("dist: supernode %d: %w", k, lu.ErrZeroPivot)
 		}
 		tiny += t
-		for _, lb := range st.LBlocks[k] {
-			blocks[lb.I*ns+k].SolveUFromRight(diag)
+		for _, lb := range g.L[k] {
+			lb.SolveUFromRight(diag)
 		}
-		for _, ub := range st.UBlocks[k] {
-			blocks[k*ns+ub.J].SolveLFromLeft(diag)
+		for _, ub := range g.U[k] {
+			ub.SolveLFromLeft(diag)
 		}
-		for _, lb := range st.LBlocks[k] {
-			l := blocks[lb.I*ns+k]
-			for _, ub := range st.UBlocks[k] {
-				if tgt := blocks[lb.I*ns+ub.J]; tgt != nil {
-					tgt.RankBUpdate(l, blocks[k*ns+ub.J])
+		for li, lb := range st.LBlocks[k] {
+			l := g.L[k][li]
+			for ui, ub := range st.UBlocks[k] {
+				if tgt, _ := g.Target(lb.I, ub.J); tgt != nil {
+					tgt.RankBUpdateInto(l, g.U[k][ui], &ws)
 				}
 			}
 		}
 	}
-	return &BlockSet{ns: ns, blocks: blocks}, tiny, nil
+	return &BlockSet{g: g}, tiny, nil
 }

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"sort"
+
+	"gesp/internal/sparse"
+)
+
+// BlockGrid is the in-process block store used by the shared-memory
+// engines (the serial blocked factorization and the sched worker pool).
+// Unlike ScatterA's ownership map — whose key space is the full ns×ns
+// block grid — it holds exactly the blocks of the static fill structure
+// in dense slices parallel to Structure.LBlocks/UBlocks, so the hot
+// right-looking loops index blocks directly instead of hashing, and no
+// storage at all is spent on structurally-absent blocks.
+type BlockGrid struct {
+	St   *Structure
+	Diag []*Block   // Diag[k] is the dense diagonal block of supernode k
+	L    [][]*Block // L[k] parallel to St.LBlocks[k]
+	U    [][]*Block // U[k] parallel to St.UBlocks[k]
+
+	// Block ids number every allocated block densely (diagonals first,
+	// then L panels, then U rows); the scheduler keys its per-target
+	// locks by id.
+	lID [][]int
+	uID [][]int
+	n   int // total allocated blocks
+}
+
+// NewGrid allocates the zero-filled structural blocks of the fill
+// pattern — and only those.
+func NewGrid(st *Structure) *BlockGrid {
+	ns := st.N
+	g := &BlockGrid{
+		St:   st,
+		Diag: make([]*Block, ns),
+		L:    make([][]*Block, ns),
+		U:    make([][]*Block, ns),
+		lID:  make([][]int, ns),
+		uID:  make([][]int, ns),
+	}
+	id := 0
+	for k := 0; k < ns; k++ {
+		lo, hi := st.SupCols(k)
+		rows := rangeInts(lo, hi)
+		g.Diag[k] = NewBlock(rows, rows)
+		id++
+	}
+	for k := 0; k < ns; k++ {
+		lo, hi := st.SupCols(k)
+		cols := rangeInts(lo, hi)
+		g.L[k] = make([]*Block, len(st.LBlocks[k]))
+		g.lID[k] = make([]int, len(st.LBlocks[k]))
+		for i, lb := range st.LBlocks[k] {
+			g.L[k][i] = NewBlock(lb.Rows, cols)
+			g.lID[k][i] = id
+			id++
+		}
+		g.U[k] = make([]*Block, len(st.UBlocks[k]))
+		g.uID[k] = make([]int, len(st.UBlocks[k]))
+		for j, ub := range st.UBlocks[k] {
+			g.U[k][j] = NewBlock(cols, ub.Cols)
+			g.uID[k][j] = id
+			id++
+		}
+	}
+	g.n = id
+	return g
+}
+
+// NumBlocks reports the number of allocated structural blocks.
+func (g *BlockGrid) NumBlocks() int { return g.n }
+
+// lIndex locates the L block with block row i in panel j, or -1.
+func (g *BlockGrid) lIndex(j, i int) int {
+	lbs := g.St.LBlocks[j]
+	p := sort.Search(len(lbs), func(q int) bool { return lbs[q].I >= i })
+	if p < len(lbs) && lbs[p].I == i {
+		return p
+	}
+	return -1
+}
+
+// uIndex locates the U block with block column j in block row i, or -1.
+func (g *BlockGrid) uIndex(i, j int) int {
+	ubs := g.St.UBlocks[i]
+	p := sort.Search(len(ubs), func(q int) bool { return ubs[q].J >= j })
+	if p < len(ubs) && ubs[p].J == j {
+		return p
+	}
+	return -1
+}
+
+// Target returns block (i, j) and its dense id, or (nil, -1) when the
+// block is structurally absent.
+func (g *BlockGrid) Target(i, j int) (*Block, int) {
+	switch {
+	case i == j:
+		return g.Diag[i], i
+	case i > j:
+		if p := g.lIndex(j, i); p >= 0 {
+			return g.L[j][p], g.lID[j][p]
+		}
+	default:
+		if p := g.uIndex(i, j); p >= 0 {
+			return g.U[i][p], g.uID[i][p]
+		}
+	}
+	return nil, -1
+}
+
+// At returns the factored value at global (i, j) inside block (bi, bj).
+func (g *BlockGrid) At(bi, bj, i, j int) float64 {
+	b, _ := g.Target(bi, bj)
+	return b.At(i, j)
+}
+
+// Scatter fills the grid with the numeric entries of the permuted
+// matrix; the blocks must have been freshly allocated (zero).
+func (g *BlockGrid) Scatter(a *sparse.CSC) {
+	sup := g.St.Sym.SupOf
+	for j := 0; j < a.Cols; j++ {
+		bj := sup[j]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowInd[p]
+			b, _ := g.Target(sup[i], bj)
+			if b == nil {
+				// A's pattern is contained in L+U's, so the block exists.
+				panic("dist: A entry outside the static block skeleton")
+			}
+			b.Set(i, j, a.Val[p])
+		}
+	}
+}

@@ -14,8 +14,6 @@
 package dist
 
 import (
-	"sort"
-
 	"gesp/internal/sparse"
 	"gesp/internal/symbolic"
 )
@@ -88,36 +86,32 @@ func BuildStructure(sym *symbolic.Result) *Structure {
 		// determine membership of j's supernode in block row K.
 		// Collected below in a single pass over columns.
 	}
-	// One pass over all columns j: each U row r contributes column j to
-	// block (SupOf[r], SupOf[j]).
-	type key struct{ k, j int }
-	seen := make(map[key]bool)
+	// One ascending pass over all columns j: each U row r contributes
+	// column j to block (SupOf[r], SupOf[j]). Because columns of a
+	// supernode are consecutive and j ascends, each block row's entries
+	// arrive already grouped by J and each block's columns arrive
+	// ascending — so blocks are built by appending to the tail of
+	// UBlocks[K], no maps or sorting needed. lastCol[K] stamps the last
+	// column appended to block row K, deduplicating within a column.
+	lastCol := make([]int, ns)
+	for k := range lastCol {
+		lastCol[k] = -1
+	}
 	for j := 0; j < sym.N; j++ {
 		bj := sym.SupOf[j]
 		for _, r := range sym.UColRows(j) {
 			bk := sym.SupOf[r]
-			if bk == bj {
-				continue // diagonal block
+			if bk == bj || lastCol[bk] == j {
+				continue // diagonal block, or already recorded for j
 			}
-			kk := key{bk, j}
-			if !seen[kk] {
-				seen[kk] = true
+			lastCol[bk] = j
+			ubs := s.UBlocks[bk]
+			if n := len(ubs); n > 0 && ubs[n-1].J == bj {
+				ubs[n-1].Cols = append(ubs[n-1].Cols, j)
+			} else {
+				s.UBlocks[bk] = append(ubs, UBlockInfo{J: bj, Cols: []int{j}})
 			}
 		}
-	}
-	// Group per (K, J): collect distinct columns.
-	colsOf := make(map[[2]int][]int)
-	for kk := range seen {
-		bj := sym.SupOf[kk.j]
-		id := [2]int{kk.k, bj}
-		colsOf[id] = append(colsOf[id], kk.j)
-	}
-	for id, cols := range colsOf {
-		sort.Ints(cols)
-		s.UBlocks[id[0]] = append(s.UBlocks[id[0]], UBlockInfo{J: id[1], Cols: cols})
-	}
-	for k := 0; k < ns; k++ {
-		sort.Slice(s.UBlocks[k], func(a, b int) bool { return s.UBlocks[k][a].J < s.UBlocks[k][b].J })
 	}
 	// Reverse indexes for the triangular solves.
 	s.RowL = make([][]int, ns)

@@ -285,6 +285,41 @@ func (r *Result) countFlops() {
 	r.Flops = flops
 }
 
+// SupEtree returns the supernodal elimination forest: the parent of
+// supernode s is the supernode containing the parent column of s's last
+// column (its first strictly-lower L row), or -1 for a root. Because a
+// supernode's off-diagonal pattern lies strictly below it, parents are
+// always numbered after their children, so a single ascending sweep is
+// a topological order. The schedulers use this DAG skeleton to
+// prioritize deep subtrees (the critical path of the factorization).
+func (r *Result) SupEtree() []int {
+	ns := r.NumSupernodes()
+	parent := make([]int, ns)
+	for s := 0; s < ns; s++ {
+		last := r.SupPtr[s+1] - 1
+		if p := r.Parent[last]; p >= 0 {
+			parent[s] = r.SupOf[p]
+		} else {
+			parent[s] = -1
+		}
+	}
+	return parent
+}
+
+// SupHeights returns, for each supernode, its height in the supernodal
+// elimination forest (longest path to a leaf below it): the static
+// critical-path priority used to seed parallel schedules.
+func (r *Result) SupHeights() []int {
+	parent := r.SupEtree()
+	h := make([]int, len(parent))
+	for s := 0; s < len(parent); s++ {
+		if p := parent[s]; p >= 0 && h[p] < h[s]+1 {
+			h[p] = h[s] + 1
+		}
+	}
+	return h
+}
+
 // LColRows returns the strictly-lower row pattern of L(:,j).
 func (r *Result) LColRows(j int) []int { return r.LInd[r.LPtr[j]:r.LPtr[j+1]] }
 
