@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet lint race checktest verify bench
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,29 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: the gesp-lint suite (detclock,
+# hotalloc, mapiter, floatcmp) over the whole module. See DESIGN.md
+# "Static analysis & checked builds".
+lint:
+	$(GO) run ./cmd/gesp-lint ./...
+
 # Race-check the concurrent engines: the DAG-scheduled shared-memory
-# factorization and the level-scheduled triangular solves.
+# factorization, the level-scheduled triangular solves, the simulated
+# MPI runtime, and the distributed engine built on it.
 race:
-	$(GO) test -race -short ./internal/sched/... ./internal/lu/...
+	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/...
+
+# Checked build: rerun the test suite with the gespcheck tag, which
+# re-validates every structural invariant (CSC columns, supernode
+# partitions, etree consistency, task-DAG acyclicity and dependency
+# counters) at the pipeline's phase boundaries.
+checktest:
+	$(GO) test -tags gespcheck ./internal/...
 
 # The full pre-commit gate: static checks, build, the complete test
-# suite, and the race detector over the concurrent packages.
-verify: vet build test race
+# suite, the race detector over the concurrent packages, and the
+# invariant-checked build.
+verify: vet lint build test race checktest
 
 bench:
 	$(GO) test -bench=. -benchmem .

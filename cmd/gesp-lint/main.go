@@ -1,0 +1,165 @@
+// Command gesp-lint is the multichecker driver for the project's custom
+// static analyzers (see internal/analysis): structural and determinism
+// invariants of the static-pivot pipeline that go vet cannot see.
+//
+// Usage:
+//
+//	gesp-lint [-checks detclock,hotalloc,mapiter,floatcmp] [-tags taglist] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 1 when any diagnostic is reported, 2 on usage or load
+// errors, matching go vet's convention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gesp/internal/analysis"
+	"gesp/internal/analysis/detclock"
+	"gesp/internal/analysis/floatcmp"
+	"gesp/internal/analysis/hotalloc"
+	"gesp/internal/analysis/mapiter"
+)
+
+var all = []*analysis.Analyzer{
+	detclock.Analyzer,
+	floatcmp.Analyzer,
+	hotalloc.Analyzer,
+	mapiter.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzers to run (default: all)")
+	tags := flag.String("tags", "", "comma-separated build tags")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gesp-lint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	enabled, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gesp-lint:", err)
+		os.Exit(2)
+	}
+
+	modDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gesp-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(modDir, splitList(*tags))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gesp-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gesp-lint:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gesp-lint:", err)
+			os.Exit(2)
+		}
+		for _, a := range enabled {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gesp-lint:", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := loader.Fset().Position(d.Pos)
+				rel, rerr := filepath.Rel(modDir, pos.Filename)
+				if rerr != nil {
+					rel = pos.Filename
+				}
+				fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, a.Name)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "gesp-lint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range splitList(checks) {
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName { //gesp:unordered
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

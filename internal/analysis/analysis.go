@@ -1,0 +1,87 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary, built so the gesp-lint
+// suite can run in environments without the x/tools module. It keeps
+// the same core shapes — an Analyzer with a Run(*Pass) entry point that
+// reports Diagnostics — so the analyzers port verbatim to the upstream
+// framework if x/tools ever becomes available.
+//
+// The package also defines the project's source annotations, written as
+// machine-readable directive comments in the //gesp: namespace:
+//
+//	//gesp:hotpath    — the function is an allocation-free kernel;
+//	                    the hotalloc analyzer enforces it.
+//	//gesp:wallclock  — the function intentionally reads the host
+//	                    wall clock (real-time measurement, never the
+//	                    simulator's virtual clock); silences detclock.
+//	//gesp:unordered  — the annotated map iteration is order-
+//	                    insensitive; silences mapiter.
+//	//gesp:floateq    — the annotated float comparison is intentionally
+//	                    exact; silences floatcmp.
+//
+// Like //go:build directives, these are written with no space after
+// "//" and are therefore excluded from godoc text.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -checks flags.
+	Name string
+	// Doc is the one-paragraph description shown by gesp-lint -help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic. The driver and the test harness
+	// install their own sinks.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// RunAnalyzer applies a to pkg and returns the diagnostics sorted by
+// position. Used by both the driver and the analysistest harness.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,12 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"gesp/internal/analysis/analysistest"
+	"gesp/internal/analysis/detclock"
+)
+
+func TestDetclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detclock.Analyzer, "mpisim", "outofscope")
+}

@@ -1,0 +1,48 @@
+// Package mpisim is a detclock fixture: its final path segment places
+// it inside the analyzer's deterministic-simulation scope.
+package mpisim
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink float64
+
+func virtualStep() {
+	t := time.Now() // want `time\.Now reads the host wall clock`
+	sink += float64(t.Unix())
+	sink += rand.Float64()             // want `rand\.Float64 uses the globally-seeded generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the globally-seeded generator`
+}
+
+func elapsed(t0 time.Time) {
+	sink += time.Since(t0).Seconds() // want `time\.Since reads the host wall clock`
+}
+
+// seededOK uses an explicitly seeded generator: deterministic, allowed.
+func seededOK() {
+	rng := rand.New(rand.NewSource(42))
+	sink += rng.Float64()
+	sink += rng.NormFloat64()
+}
+
+// wallTimer intentionally measures host time for reporting only.
+//
+//gesp:wallclock
+func wallTimer() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func lineExempt() {
+	//gesp:wallclock
+	t0 := time.Now()
+	_ = t0
+}
+
+// durationsOK exercises time-package identifiers that are not clock
+// reads and must not be flagged.
+func durationsOK(d time.Duration) float64 {
+	return d.Seconds() + float64(time.Second)
+}

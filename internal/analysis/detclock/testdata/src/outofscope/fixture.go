@@ -1,0 +1,13 @@
+// Package outofscope is a detclock fixture outside the analyzer's
+// scoped packages; nothing here may be flagged.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timings() float64 {
+	t0 := time.Now()
+	return time.Since(t0).Seconds() + rand.Float64()
+}

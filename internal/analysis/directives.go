@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix is the comment namespace of the project's source
+// annotations (see the package documentation for the vocabulary).
+const directivePrefix = "//gesp:"
+
+// HasFuncDirective reports whether the function declaration carries
+// //gesp:<name> in its doc comment. Directive comments are attached to
+// the doc CommentGroup by the parser but stripped from its Text(), so
+// the raw comment list is scanned.
+func HasFuncDirective(decl *ast.FuncDecl, name string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == directivePrefix+name {
+			return true
+		}
+	}
+	return false
+}
+
+// Directives indexes every //gesp: comment of a file by line number, so
+// analyzers can honor annotations placed on (or immediately above) the
+// statement they apply to.
+type Directives struct {
+	fset  *token.FileSet
+	lines map[int][]string // line -> directive names
+}
+
+// FileDirectives scans all comments of a file.
+func FileDirectives(fset *token.FileSet, f *ast.File) *Directives {
+	d := &Directives{fset: fset, lines: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			name := strings.TrimPrefix(text, directivePrefix)
+			line := fset.Position(c.Pos()).Line
+			d.lines[line] = append(d.lines[line], name)
+		}
+	}
+	return d
+}
+
+// At reports whether directive name is written on the same line as pos
+// or on the line directly above it.
+func (d *Directives) At(pos token.Pos, name string) bool {
+	line := d.fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, n := range d.lines[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EnclosingFuncHasDirective reports whether the innermost enclosing
+// top-level function declaration of pos in file f carries the
+// directive. Positions inside function literals inherit the annotation
+// of the declaration that lexically contains them.
+func EnclosingFuncHasDirective(f *ast.File, pos token.Pos, name string) bool {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		return HasFuncDirective(fd, name)
+	}
+	return false
+}

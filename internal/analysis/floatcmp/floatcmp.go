@@ -1,0 +1,107 @@
+// Package floatcmp flags == and != between floating-point (or complex)
+// operands. After a factorization every value carries rounding error,
+// so exact equality is almost always a bug that a tolerance comparison
+// (see lu.Eps-scaled helpers) should replace.
+//
+// Three idioms are exempt because they are exact by construction:
+//
+//   - comparison against the literal constant zero — sparse kernels
+//     legitimately test "is this stored entry exactly zero" to skip
+//     work and to guard divisions, and IEEE zero tests are exact;
+//   - x != x (and x == x), the canonical NaN probe;
+//   - comparisons annotated //gesp:floateq on or above the expression,
+//     or inside a function whose doc carries //gesp:floateq.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"gesp/internal/analysis"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= on floating-point values outside tolerance helpers; " +
+		"exact-zero tests, NaN probes, and //gesp:floateq sites are exempt",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		dirs := analysis.FileDirectives(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x: NaN probe
+			}
+			if dirs.At(be.Pos(), "floateq") ||
+				analysis.EnclosingFuncHasDirective(f, be.Pos(), "floateq") {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact %s on floating-point values; compare with a "+
+				"tolerance helper, or annotate //gesp:floateq if bit-exact comparison is intended",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 &&
+			constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// simple operands (identifiers, selectors, or index expressions over
+// such), the shapes that appear in NaN self-comparisons.
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(a.X, b.X) && sameExpr(a.Index, b.Index)
+	case *ast.ParenExpr:
+		return sameExpr(a.X, b)
+	}
+	if p, ok := b.(*ast.ParenExpr); ok {
+		return sameExpr(a, p.X)
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Package tolerances is a floatcmp fixture.
+package tolerances
+
+func residualConverged(r, prev float64) bool {
+	return r == prev // want `exact == on floating-point values`
+}
+
+func changed(a, b []float64, i int) bool {
+	return a[i] != b[i] // want `exact != on floating-point values`
+}
+
+func complexEq(a, b complex128) bool {
+	return a == b // want `exact == on floating-point values`
+}
+
+// Exact-zero guards are exempt: IEEE zero tests are well defined and
+// sparse kernels rely on them to skip structural zeros.
+func skipZero(v float64) bool {
+	return v == 0 || v != 0.0
+}
+
+func isNaN(x float64) bool {
+	return x != x // NaN probe: exempt
+}
+
+// sentinelExact compares against a value stored verbatim earlier; the
+// annotation asserts bit-exact comparison is intended.
+//
+//gesp:floateq
+func sentinelExact(v, sentinel float64) bool {
+	return v == sentinel
+}
+
+func lineAnnotated(v, w float64) bool {
+	//gesp:floateq
+	return v == w
+}
+
+func intsFine(a, b int) bool {
+	return a == b
+}

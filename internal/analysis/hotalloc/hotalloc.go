@@ -1,0 +1,81 @@
+// Package hotalloc enforces the //gesp:hotpath contract: functions so
+// annotated are the supernodal inner kernels (RankBUpdateInto, the
+// dense panel solves, the triangular-solve loops) that run millions of
+// times per factorization and must not touch the allocator. The
+// analyzer flags every construct that may allocate inside an annotated
+// function: append, make, new, slice/map composite literals, taking the
+// address of a composite literal, and function literals (closures).
+//
+// The contract is intentionally conservative — an append into
+// preallocated capacity is still flagged, because capacity is a dynamic
+// property the kernel cannot promise statically. Scratch-buffer growth
+// belongs in an un-annotated ensure/setup function called outside the
+// inner loop (see dist.UpdateScratch).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gesp/internal/analysis"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocations (append/make/new/literals/closures) inside //gesp:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasFuncDirective(fd, "hotpath") {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "append", "make", "new":
+						pass.Reportf(n.Pos(), "%s allocates inside //gesp:hotpath function %s; "+
+							"hoist the buffer into a scratch struct sized outside the kernel", b.Name(), name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "composite literal of type %s allocates inside "+
+					"//gesp:hotpath function %s", t, name)
+			}
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&composite literal escapes to the heap inside "+
+					"//gesp:hotpath function %s", name)
+				return false // don't double-report the literal itself
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal allocates a closure inside "+
+				"//gesp:hotpath function %s", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch inside //gesp:hotpath function %s", name)
+		}
+		return true
+	})
+}

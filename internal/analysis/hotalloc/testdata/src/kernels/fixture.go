@@ -1,0 +1,38 @@
+// Package kernels is a hotalloc fixture.
+package kernels
+
+// scratch mimics a preallocated work buffer.
+type scratch struct {
+	buf []float64
+	ids map[int]int
+}
+
+// axpyHot is an annotated kernel with every allocating construct.
+//
+//gesp:hotpath
+func axpyHot(s *scratch, x []float64) float64 {
+	tmp := make([]float64, len(x)) // want `make allocates inside //gesp:hotpath function axpyHot`
+	tmp = append(tmp, 1)           // want `append allocates inside //gesp:hotpath function axpyHot`
+	p := new(float64)              // want `new allocates inside //gesp:hotpath function axpyHot`
+	lit := []int{1, 2}             // want `composite literal of type \[\]int allocates`
+	m := map[int]int{}             // want `composite literal of type map\[int\]int allocates`
+	sp := &scratch{}               // want `&composite literal escapes to the heap`
+	f := func() {}                 // want `function literal allocates a closure`
+	go f()                         // want `goroutine launch inside //gesp:hotpath function axpyHot`
+	_, _, _, _, _ = tmp, p, lit, m, sp
+	return x[0]
+}
+
+// axpyClean is annotated and allocation-free: no findings.
+//
+//gesp:hotpath
+func axpyClean(s *scratch, x []float64, a float64) {
+	for i := range x {
+		s.buf[i] += a * x[i]
+	}
+}
+
+// coldSetup is NOT annotated; identical constructs are fine here.
+func coldSetup(n int) *scratch {
+	return &scratch{buf: make([]float64, n), ids: map[int]int{}}
+}

@@ -1,0 +1,55 @@
+// Package mapiter flags range statements over maps. Go randomizes map
+// iteration order per run, so a map range whose effects reach output,
+// task seeding, message ordering, or floating-point accumulation order
+// makes results nondeterministic — precisely what the static-pivot
+// pipeline promises not to be. In GESP even "commutative" accumulation
+// is order-sensitive: floating-point sums reassociate.
+//
+// The analyzer cannot prove which iterations are benign, so every map
+// range must either iterate over sorted keys (the fix) or carry a
+// //gesp:unordered annotation on or above the range statement asserting
+// that the loop is genuinely order-insensitive (pure membership tests,
+// counting, draining with no ordered effects).
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gesp/internal/analysis"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag range-over-map, whose order is randomized per run; sort the keys " +
+		"or annotate the loop //gesp:unordered if it is order-insensitive",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		dirs := analysis.FileDirectives(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if dirs.At(rs.Pos(), "unordered") {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration order is randomized and can leak into "+
+				"results or schedules; iterate over sorted keys, or annotate "+
+				"//gesp:unordered if the loop is order-insensitive")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package ordering is a mapiter fixture.
+package ordering
+
+import "sort"
+
+type msgKey struct{ src, tag int }
+
+func emitAll(pending map[msgKey]float64, out func(float64)) {
+	for _, v := range pending { // want `map iteration order is randomized`
+		out(v)
+	}
+}
+
+func emitSorted(pending map[int]float64, out func(float64)) {
+	keys := make([]int, 0, len(pending))
+	//gesp:unordered
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys { // slice range: fine
+		out(pending[k])
+	}
+}
+
+func countOnly(pending map[int]bool) int {
+	n := 0
+	for range pending { // want `map iteration order is randomized`
+		n++
+	}
+	return n
+}
+
+type alias = map[string]int
+
+func aliased(m alias) {
+	for k, v := range m { // want `map iteration order is randomized`
+		_ = k
+		_ = v
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !gespcheck
+
+package check
+
+// Enabled is false in normal builds: every `if check.Enabled` guard is
+// constant-folded away, so the invariant layer costs nothing.
+const Enabled = false

@@ -1,0 +1,8 @@
+//go:build gespcheck
+
+package check
+
+// Enabled reports whether the checked build is active. With the
+// gespcheck tag every guarded validation in sparse, symbolic and sched
+// runs; see the package documentation.
+const Enabled = true

@@ -58,6 +58,8 @@ func (b *Block) Set(r, c int, v float64) { b.Val[b.LocalCol(c)*b.NR()+b.LocalRow
 // magnitude than thresh are replaced by ±thresh when replace is true;
 // returns the number of replacements and the flop count. A zero pivot
 // with replace false reports ok = false.
+//
+//gesp:hotpath
 func (b *Block) FactorDiag(thresh float64, replace bool) (tiny int, flops int64, ok bool) {
 	n := b.NR()
 	v := b.Val
@@ -99,6 +101,8 @@ func (b *Block) FactorDiag(thresh float64, replace bool) (tiny int, flops int64,
 // SolveUFromRight overwrites b with b·U⁻¹ where diag holds a factored
 // diagonal block (upper triangle = U): this computes an L panel
 // L(I,K) = A(I,K)·U(K,K)⁻¹. Returns the flop count.
+//
+//gesp:hotpath
 func (b *Block) SolveUFromRight(diag *Block) int64 {
 	nr, nc := b.NR(), b.NC()
 	d := diag.Val
@@ -127,6 +131,8 @@ func (b *Block) SolveUFromRight(diag *Block) int64 {
 // SolveLFromLeft overwrites b with L⁻¹·b where diag holds a factored
 // diagonal block (unit-lower triangle = L): this computes a U panel
 // U(K,J) = L(K,K)⁻¹·A(K,J). Returns the flop count.
+//
+//gesp:hotpath
 func (b *Block) SolveLFromLeft(diag *Block) int64 {
 	nr, nc := b.NR(), b.NC()
 	d := diag.Val
@@ -205,6 +211,8 @@ func (t *Block) RankBUpdate(l, u *Block) int64 {
 // row strips (cache blocking) and scattered into the target once,
 // keeping the innermost loops branch-free and contiguous. Returns the
 // flop count.
+//
+//gesp:hotpath
 func (t *Block) RankBUpdateInto(l, u *Block, ws *UpdateScratch) int64 {
 	nrL, nrT := l.NR(), t.NR()
 	ncU, nrU := u.NC(), u.NR()
@@ -300,6 +308,8 @@ func (b *Block) MatVecInto(out func(globalRow int, v float64), x []float64, colB
 
 // ForwardSolveDiag solves L(K,K)·x = rhs in place (unit lower triangle of
 // the factored diagonal block).
+//
+//gesp:hotpath
 func (b *Block) ForwardSolveDiag(x []float64) int64 {
 	n := b.NR()
 	v := b.Val
@@ -317,6 +327,8 @@ func (b *Block) ForwardSolveDiag(x []float64) int64 {
 
 // BackSolveDiag solves U(K,K)·x = rhs in place (upper triangle including
 // the diagonal).
+//
+//gesp:hotpath
 func (b *Block) BackSolveDiag(x []float64) int64 {
 	n := b.NR()
 	v := b.Val

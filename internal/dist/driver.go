@@ -64,6 +64,12 @@ func SolveMulti(a *sparse.CSC, sym *symbolic.Result, bs [][]float64, opts Option
 	return solveMulti(a, sym, bs, opts)
 }
 
+// solveMulti runs the distributed factorization and the solves for all
+// right-hand sides. The Wall fields of the returned PhaseStats are
+// genuine host wall-clock measurements reported alongside the simulated
+// times; they never feed the virtual clock or any simulated result.
+//
+//gesp:wallclock
 func solveMulti(a *sparse.CSC, sym *symbolic.Result, bs [][]float64, opts Options) (*Result, [][]float64, error) {
 	if opts.Procs <= 0 {
 		opts.Procs = 4

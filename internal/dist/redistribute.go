@@ -68,7 +68,8 @@ func redistribute1Dto2D(r *mpisim.Rank, g mpisim.Grid, st *Structure, a *sparse.
 	// Exchange: send each bucket, then receive one message from every
 	// rank (possibly empty) — a deterministic all-to-all.
 	dsts := make([]int, 0, len(buckets))
-	for d := range buckets {
+	//gesp:unordered
+	for d := range buckets { // keys are sorted below
 		dsts = append(dsts, d)
 	}
 	sort.Ints(dsts)

@@ -149,6 +149,8 @@ func Factorize(a *sparse.CSC, sym *symbolic.Result, opts Options) (*Factors, err
 
 // SolveL overwrites x with L⁻¹x (forward substitution, implied unit
 // diagonal).
+//
+//gesp:hotpath
 func (f *Factors) SolveL(x []float64) {
 	sym := f.Sym
 	for j := 0; j < sym.N; j++ {
@@ -163,6 +165,8 @@ func (f *Factors) SolveL(x []float64) {
 }
 
 // SolveU overwrites x with U⁻¹x (backward substitution).
+//
+//gesp:hotpath
 func (f *Factors) SolveU(x []float64) {
 	sym := f.Sym
 	for j := sym.N - 1; j >= 0; j-- {
@@ -186,6 +190,8 @@ func (f *Factors) Solve(x []float64) {
 
 // SolveLT overwrites x with L⁻ᵀx, and SolveUT with U⁻ᵀx; both are needed
 // by the Hager condition estimator, which solves with Aᵀ.
+//
+//gesp:hotpath
 func (f *Factors) SolveLT(x []float64) {
 	sym := f.Sym
 	for j := sym.N - 1; j >= 0; j-- {
@@ -198,6 +204,8 @@ func (f *Factors) SolveLT(x []float64) {
 }
 
 // SolveUT overwrites x with U⁻ᵀx.
+//
+//gesp:hotpath
 func (f *Factors) SolveUT(x []float64) {
 	sym := f.Sym
 	for j := 0; j < sym.N; j++ {

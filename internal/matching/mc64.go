@@ -184,6 +184,10 @@ func MaxProductMatching(a *sparse.CSC) (*Result, error) {
 			i := -1
 			for !heap.empty() {
 				dd, ii := heap.pop()
+				// Lazy-deletion heap: a popped entry is live only if its
+				// priority still equals the row's current distance, a value
+				// copied verbatim at push time — bit-exact by construction.
+				//gesp:floateq
 				if stamp[ii] == gen && !final[ii] && dd == dist[ii] {
 					d, i = dd, ii
 					break

@@ -51,12 +51,19 @@ func (mb *mailbox) takeAny(model CostModel) *message {
 	for {
 		bestKey := -1
 		bestArrival := 0.0
+		// Strict-min reduction with a total tie-break order, so the
+		// winner is independent of map iteration order.
+		//gesp:unordered
 		for key, q := range mb.boxes {
 			if len(q) == 0 {
 				continue
 			}
 			m := q[0]
 			arr := m.sentAt + model.Latency + float64(m.bytes)*model.CostPerByte
+			// The arrival tie-break must be exact: equal virtual arrivals
+			// are common (same-size messages) and fall through to the key
+			// order, which is what makes the dequeue deterministic.
+			//gesp:floateq
 			if bestKey == -1 || arr < bestArrival || (arr == bestArrival && key < bestKey) {
 				bestKey, bestArrival = key, arr
 			}

@@ -57,9 +57,7 @@ func NestedDissection(p *sparse.Pattern) []int {
 		// BFS from a pseudo-peripheral vertex within the subgraph.
 		depthOf := make(map[int]int, len(verts))
 		bfs := func(start int) (last, depth int) {
-			for k := range depthOf {
-				delete(depthOf, k)
-			}
+			clear(depthOf)
 			queue := []int{start}
 			depthOf[start] = 0
 			last = start

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"fmt"
+
+	"gesp/internal/check"
+)
+
+// kindNames labels tasks in audit failures.
+var kindNames = [...]string{
+	taskFactor: "factor",
+	taskLSolve: "lsolve",
+	taskUSolve: "usolve",
+	taskURow:   "urow",
+	taskUpdate: "update",
+}
+
+// tasks enumerates every node of the DAG: the statically allocated
+// factor/lsolve/usolve tasks plus the urow/update tasks discovered
+// through successor edges.
+func (g *graph) tasks() []*task {
+	idx := make(map[*task]int)
+	var all []*task
+	add := func(t *task) {
+		if _, ok := idx[t]; !ok {
+			idx[t] = len(all)
+			all = append(all, t)
+		}
+	}
+	for k := range g.factor {
+		add(g.factor[k])
+		for _, t := range g.lsolve[k] {
+			add(t)
+		}
+		for _, t := range g.usolve[k] {
+			add(t)
+		}
+	}
+	for q := 0; q < len(all); q++ { // BFS closure over succ edges
+		for _, s := range all[q].succ {
+			add(s)
+		}
+	}
+	return all
+}
+
+// audit verifies the two properties the lock-free scheduler relies on:
+// every task's atomic dependency counter equals its in-degree in the
+// successor graph (a mismatch deadlocks the pool or runs a task before
+// its inputs are ready — a race), and the graph is acyclic (a cycle
+// deadlocks the run with tasks that can never become ready). It must be
+// called on a freshly built graph, before any counter is decremented.
+func (g *graph) audit() error {
+	all := g.tasks()
+	if len(all) != g.total {
+		return fmt.Errorf("sched: task DAG has %d reachable tasks, bookkeeping says %d", len(all), g.total)
+	}
+	idx := make(map[*task]int, len(all))
+	for i, t := range all {
+		idx[t] = i
+	}
+	indeg := make([]int, len(all))
+	for _, t := range all {
+		for _, s := range t.succ {
+			indeg[idx[s]]++
+		}
+	}
+	for i, t := range all {
+		if int32(indeg[i]) != t.deps.Load() {
+			return fmt.Errorf("sched: %s(%d,%d) dependency counter is %d, but %d predecessor edges exist",
+				kindNames[t.kind], t.k, t.idx, t.deps.Load(), indeg[i])
+		}
+	}
+	return check.AcyclicDAG(len(all), func(u int) []int {
+		succ := make([]int, len(all[u].succ))
+		for j, s := range all[u].succ {
+			succ[j] = idx[s]
+		}
+		return succ
+	})
+}

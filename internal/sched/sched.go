@@ -40,6 +40,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gesp/internal/check"
 	"gesp/internal/dist"
 	"gesp/internal/lu"
 	"gesp/internal/sparse"
@@ -223,6 +224,9 @@ func buildGraph(st *dist.Structure, grid *dist.BlockGrid, sym *symbolic.Result) 
 	sort.SliceStable(g.initial, func(a, b int) bool {
 		return heights[g.initial[a].k] > heights[g.initial[b].k]
 	})
+	if check.Enabled {
+		check.Must(g.audit())
+	}
 	return g
 }
 

@@ -1,0 +1,68 @@
+//go:build gespcheck
+
+package sparse_test
+
+import (
+	"strings"
+	"testing"
+
+	"gesp/internal/sparse"
+)
+
+// mustPanicWith runs f and asserts it panics with a gespcheck message
+// containing substr.
+func mustPanicWith(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("checked build did not catch the corruption (want panic containing %q)", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "gespcheck:") || !strings.Contains(msg, substr) {
+			t.Fatalf("panic = %v, want gespcheck message containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func arrowMatrix(n int) *sparse.CSC {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		d[i][i] = 4
+	}
+	for i := 0; i < n; i++ {
+		d[i][n-1] = 1
+		d[n-1][i] = 1
+	}
+	return sparse.FromDense(d)
+}
+
+func TestCheckedCatchesUnsortedColumn(t *testing.T) {
+	a := arrowMatrix(6)
+	// Swap two row indices within the last (dense) column: the column
+	// is no longer sorted ascending.
+	lo := a.ColPtr[a.Cols-1]
+	a.RowInd[lo], a.RowInd[lo+1] = a.RowInd[lo+1], a.RowInd[lo]
+	mustPanicWith(t, "unsorted", func() { a.Transpose() })
+}
+
+func TestCheckedCatchesBrokenColPtr(t *testing.T) {
+	a := arrowMatrix(6)
+	a.ColPtr[3] = a.ColPtr[2] - 1 // non-monotone pointers
+	mustPanicWith(t, "not monotone", func() { a.Transpose() })
+}
+
+func TestCheckedCatchesOutOfRangeRow(t *testing.T) {
+	a := arrowMatrix(6)
+	a.RowInd[0] = a.Rows + 3
+	mustPanicWith(t, "out of range", func() { a.Transpose() })
+}
+
+func TestCheckedAcceptsValidMatrix(t *testing.T) {
+	a := arrowMatrix(6)
+	if got := a.Transpose().Transpose(); got.Nnz() != a.Nnz() {
+		t.Fatalf("round-trip changed nnz: %d != %d", got.Nnz(), a.Nnz())
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"gesp/internal/check"
 )
 
 // CSC is a sparse matrix in compressed sparse column format.
@@ -153,6 +155,9 @@ func (t *Triplet) ToCSC() *CSC {
 		}
 		a.ColPtr[j+1] = len(a.RowInd)
 	}
+	if check.Enabled {
+		check.Must(a.Check())
+	}
 	return a
 }
 
@@ -170,6 +175,9 @@ func (s colSorter) Swap(i, j int) {
 
 // Transpose returns Aᵀ in CSC form (equivalently, A in CSR form).
 func (a *CSC) Transpose() *CSC {
+	if check.Enabled {
+		check.Must(a.Check())
+	}
 	t := &CSC{Rows: a.Cols, Cols: a.Rows, ColPtr: make([]int, a.Rows+1)}
 	nz := a.Nnz()
 	t.RowInd = make([]int, nz)

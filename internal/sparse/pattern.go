@@ -150,6 +150,9 @@ func SymmetryOf(a *CSC) Symmetry {
 			}
 			if kt < et && at.RowInd[kt] == i {
 				strMatch++
+				// Numeric symmetry counts entries with A(i,j) exactly
+				// equal to A(j,i), the Harwell-Boeing statistic.
+				//gesp:floateq
 				if at.Val[kt] == a.Val[ka] {
 					numMatch++
 				}

@@ -1,0 +1,74 @@
+//go:build gespcheck
+
+package symbolic_test
+
+import (
+	"strings"
+	"testing"
+
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+func tridiag(n int) *sparse.CSC {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		d[i][i] = 2
+		if i > 0 {
+			d[i][i-1] = -1
+			d[i-1][i] = -1
+		}
+	}
+	return sparse.FromDense(d)
+}
+
+// TestCheckedCatchesCorruptInput proves the gespcheck wiring at the
+// symbolic phase boundary: Factorize re-validates its input matrix.
+func TestCheckedCatchesCorruptInput(t *testing.T) {
+	a := tridiag(8)
+	a.RowInd[1], a.RowInd[2] = a.RowInd[2], a.RowInd[1]
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "gespcheck:") {
+			t.Fatalf("panic = %v, want gespcheck message", r)
+		}
+	}()
+	_, _ = symbolic.Factorize(a, symbolic.Options{})
+}
+
+// TestResultCheckDetectsCorruption corrupts each invariant family of a
+// valid symbolic result and asserts Check rejects it.
+func TestResultCheckDetectsCorruption(t *testing.T) {
+	fresh := func() *symbolic.Result {
+		sym, err := symbolic.Factorize(tridiag(8), symbolic.Options{MaxSuper: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sym
+	}
+	if err := fresh().Check(); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+
+	sym := fresh()
+	sym.SupOf[1] = sym.SupOf[1] + 1 // partition/map disagreement
+	if err := sym.Check(); err == nil {
+		t.Error("corrupt SupOf accepted")
+	}
+
+	sym = fresh()
+	sym.Parent[0] = 5 // etree no longer matches the L pattern
+	if err := sym.Check(); err == nil {
+		t.Error("corrupt Parent accepted")
+	}
+
+	sym = fresh()
+	if sym.NnzL() > 0 {
+		sym.LInd[0] = 0 // row not strictly below the diagonal
+		if err := sym.Check(); err == nil {
+			t.Error("corrupt L pattern accepted")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"gesp/internal/check"
+)
+
+// Check validates the structural invariants of a symbolic result: the
+// L/U pattern arrays, the column elimination forest, and the supernode
+// partition with its induced supernodal etree. Everything downstream —
+// the numeric kernels, the block structure, the task DAG, the
+// distributed communication pattern — is derived from these arrays, so
+// a corruption here surfaces later as a wrong answer or a schedule
+// hazard; the gespcheck build calls this at the end of Factorize to
+// catch it at the source.
+func (r *Result) Check() error {
+	n := r.N
+	if err := check.Partition("symbolic: LPtr", r.LPtr, len(r.LInd)); err != nil {
+		return err
+	}
+	if err := check.Partition("symbolic: UPtr", r.UPtr, len(r.UInd)); err != nil {
+		return err
+	}
+	if len(r.LPtr) != n+1 || len(r.UPtr) != n+1 || len(r.Parent) != n {
+		return fmt.Errorf("symbolic: array lengths inconsistent with N=%d", n)
+	}
+	for j := 0; j < n; j++ {
+		lcol := r.LInd[r.LPtr[j]:r.LPtr[j+1]]
+		if err := check.StrictlyIncreasingInBounds(
+			fmt.Sprintf("symbolic: L(:,%d)", j), lcol, j+1, n); err != nil {
+			return err
+		}
+		ucol := r.UInd[r.UPtr[j]:r.UPtr[j+1]]
+		if len(ucol) == 0 || ucol[len(ucol)-1] != j {
+			return fmt.Errorf("symbolic: U(:,%d) missing its diagonal as last entry", j)
+		}
+		if err := check.StrictlyIncreasingInBounds(
+			fmt.Sprintf("symbolic: U(:,%d)", j), ucol, 0, j+1); err != nil {
+			return err
+		}
+		// Etree consistency: the parent of j is the first strictly-lower
+		// row of L(:,j), which also guarantees Parent[j] > j.
+		want := -1
+		if len(lcol) > 0 {
+			want = lcol[0]
+		}
+		if r.Parent[j] != want {
+			return fmt.Errorf("symbolic: Parent[%d] = %d, want %d (first L row)", j, r.Parent[j], want)
+		}
+	}
+	// Supernode partition: contiguous, covering, and mutually consistent
+	// with the column-to-supernode map.
+	if err := check.Partition("symbolic: SupPtr", r.SupPtr, n); err != nil {
+		return err
+	}
+	if len(r.SupOf) != n {
+		return fmt.Errorf("symbolic: SupOf length %d, want %d", len(r.SupOf), n)
+	}
+	for s := 0; s < r.NumSupernodes(); s++ {
+		if r.SupPtr[s] >= r.SupPtr[s+1] {
+			return fmt.Errorf("symbolic: supernode %d is empty", s)
+		}
+		for j := r.SupPtr[s]; j < r.SupPtr[s+1]; j++ {
+			if r.SupOf[j] != s {
+				return fmt.Errorf("symbolic: SupOf[%d] = %d, want %d", j, r.SupOf[j], s)
+			}
+		}
+	}
+	// The supernodal etree must be a forest with parents numbered after
+	// children (the property the schedulers' topological sweeps rely on).
+	for s, p := range r.SupEtree() {
+		if p != -1 && (p <= s || p >= r.NumSupernodes()) {
+			return fmt.Errorf("symbolic: supernode etree parent of %d is %d, not in (%d,%d)", s, p, s, r.NumSupernodes())
+		}
+	}
+	return nil
+}

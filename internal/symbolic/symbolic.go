@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gesp/internal/check"
 	"gesp/internal/sparse"
 )
 
@@ -85,6 +86,9 @@ func Factorize(a *sparse.CSC, opts Options) (*Result, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return nil, fmt.Errorf("symbolic: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	if check.Enabled {
+		check.Must(a.Check())
 	}
 	maxSuper := opts.MaxSuper
 	if maxSuper <= 0 {
@@ -195,6 +199,9 @@ func Factorize(a *sparse.CSC, opts Options) (*Result, error) {
 
 	res.buildSupernodes(maxSuper, opts.Relax)
 	res.countFlops()
+	if check.Enabled {
+		check.Must(res.Check())
+	}
 	return res, nil
 }
 
