@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race checktest verify bench
+.PHONY: build test vet lint race checktest servebench verify bench
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,10 @@ lint:
 
 # Race-check the concurrent engines: the DAG-scheduled shared-memory
 # factorization, the level-scheduled triangular solves, the simulated
-# MPI runtime, and the distributed engine built on it.
+# MPI runtime, the distributed engine built on it, and the caching,
+# batching solve service.
 race:
-	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/...
+	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/...
 
 # Checked build: rerun the test suite with the gespcheck tag, which
 # re-validates every structural invariant (CSC columns, supernode
@@ -30,10 +31,18 @@ race:
 checktest:
 	$(GO) test -tags gespcheck ./internal/...
 
+# Serving-layer smoke: one short closed-loop throughput measurement
+# plus a single-iteration run of the serve benchmark. Catches wiring
+# breakage in cmd/gesp-serve and the experiment harness without the
+# cost of a full benchmark sweep.
+servebench:
+	$(GO) run ./cmd/gesp-serve -load -clients 8 -duration 300ms -patterns 2 -variants 3 -scale 0.25
+	$(GO) test -run - -bench BenchmarkServeThroughput -benchtime 1x .
+
 # The full pre-commit gate: static checks, build, the complete test
-# suite, the race detector over the concurrent packages, and the
-# invariant-checked build.
-verify: vet lint build test race checktest
+# suite, the race detector over the concurrent packages, the
+# invariant-checked build, and the serving-layer smoke.
+verify: vet lint build test race checktest servebench
 
 bench:
 	$(GO) test -bench=. -benchmem .

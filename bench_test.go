@@ -20,6 +20,7 @@ import (
 	"gesp/internal/experiments"
 	"gesp/internal/lu"
 	"gesp/internal/matgen"
+	"gesp/internal/serve"
 	"gesp/internal/sparse"
 	"gesp/internal/superlu"
 	"gesp/internal/zsolver"
@@ -407,6 +408,37 @@ func BenchmarkParallelFactorSpeedup(b *testing.B) {
 				b.ReportMetric(float64(serialNs)/perOp, "speedup-vs-serial")
 			}
 		})
+	}
+}
+
+func BenchmarkServeThroughput(b *testing.B) {
+	// The serving-layer closed loop: 8 clients hammering factor-cached
+	// solves through the RHS batcher. Each iteration is one fixed-length
+	// measurement window, so the headline metric is solves/s rather than
+	// ns/op. Refinement off to isolate the batched triangular sweeps.
+	cfg := serve.DefaultConfig()
+	cfg.MaxDelay = 0 // rely on natural backlog coalescing, not timers
+	cfg.Options.Refine = false
+	var last *experiments.ServeLoadResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunServeLoad(experiments.ServeLoadConfig{
+			Service:  cfg,
+			Clients:  8,
+			Patterns: 2,
+			Variants: 3,
+			Duration: 200 * time.Millisecond,
+			Scale:    benchScale,
+			Resubmit: 0.05,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.Throughput, "solves/s")
+		b.ReportMetric(last.MeanBatch, "mean-batch")
+		b.ReportMetric(serve.HitRate(last.Stats.FactorHits, last.Stats.FactorMisses), "factor-hit-rate")
 	}
 }
 

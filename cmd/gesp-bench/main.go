@@ -18,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gesp/internal/experiments"
 )
@@ -26,13 +27,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gesp-bench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor")
+		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve")
 		scale    = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
 		procsF   = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
 		p5       = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
 		jsonOut  = flag.Bool("json", false, "emit the parfactor sweep as machine-readable JSON on stdout (matrix, variant, workers, wall_ns, simulated_ns, mflops) and exit")
 		workersF = flag.String("workers", "1,2,4,8", "worker sweep for the parfactor experiment")
 		matsF    = flag.String("matrices", "AF23560,BBMAT,EX11", "matrices for the parfactor experiment")
+
+		serveClients  = flag.Int("serve-clients", 16, "closed-loop clients for the serve experiment")
+		serveDuration = flag.Duration("serve-duration", time.Second, "measurement window per arm of the serve experiment")
 	)
 	flag.Parse()
 
@@ -68,7 +72,7 @@ func main() {
 		"table2": true, "table3": true, "table4": true, "table5": true,
 		"edag": true, "pipeline": true, "nopivot": true, "blocksize": true,
 		"ordering": true, "iterative": true, "relax": true, "redist": true, "gridshape": true,
-		"parfactor": true,
+		"parfactor": true, "serve": true,
 	}
 	if !known[*exp] {
 		log.Fatalf("unknown experiment %q (see -h for the list)", *exp)
@@ -192,6 +196,13 @@ func main() {
 		}
 	})
 	section("parfactor", func() { experiments.PrintParFactor(w, parfactor()) })
+	section("serve", func() {
+		rows, err := experiments.ServeAblation(*serveClients, *serveDuration, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintServe(w, rows)
+	})
 	section("iterative", func() {
 		rows, err := experiments.IterativeAblation(
 			[]string{"AF23560", "MEMPLUS", "GEMAT11", "WEST2021", "SHERMAN4", "ONETONE1"}, *scale)

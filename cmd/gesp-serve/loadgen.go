@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gesp/internal/experiments"
+	"gesp/internal/serve"
+)
+
+// runLoad is the built-in closed-loop load generator: clients drive the
+// in-process service as fast as responses come back (no think time), so
+// the measured throughput is the service's, not a traffic model's. The
+// system pool spans `patterns` sparsity patterns with `variants` value
+// variants each — the same pool shape the serving caches are built for.
+func runLoad(cfg serve.Config, clients int, duration time.Duration, patterns, variants int, scale float64) (string, error) {
+	res, err := experiments.RunServeLoad(experiments.ServeLoadConfig{
+		Service:  cfg,
+		Clients:  clients,
+		Patterns: patterns,
+		Variants: variants,
+		Duration: duration,
+		Scale:    scale,
+		Resubmit: 0.05,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "closed-loop load: %d clients, %d systems (%d patterns x %d variants), %v\n",
+		res.Clients, res.Systems, patterns, variants, duration)
+	fmt.Fprintf(&b, "throughput %.0f solves/s  (%d solves, %d shed)\n", res.Throughput, res.Solves, res.Shed)
+	fmt.Fprintf(&b, "latency p50 %v  p95 %v  p99 %v  mean batch %.2f\n",
+		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),
+		res.P99.Round(time.Microsecond), res.MeanBatch)
+	fmt.Fprintf(&b, "\nservice counters:\n%s", res.Stats)
+	return b.String(), nil
+}

@@ -1,0 +1,199 @@
+// Command gesp-serve runs the GESP solve service: an HTTP JSON API over
+// internal/serve's factor-caching, RHS-batching solver. Submit a matrix
+// once, then solve as many right-hand sides against it as you like —
+// pattern-identical resubmissions skip symbolic analysis, identical
+// resubmissions skip factorization, and concurrent solves of one system
+// coalesce into batched triangular sweeps.
+//
+// API:
+//
+//	POST /v1/matrix  {"n":N,"rows":[...],"cols":[...],"vals":[...]}
+//	                 -> {"handle":"p….v….n…","n":N,"nnz":…}
+//	POST /v1/solve   {"handle":"…","b":[...]}
+//	                 -> {"x":[...]}
+//	GET  /v1/stats   -> serve.Stats JSON
+//
+// Load-generator mode (no server; closed-loop in-process benchmark):
+//
+//	gesp-serve -load -clients 16 -duration 2s -patterns 3 -variants 4
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gesp-serve: ")
+	var (
+		addr     = flag.String("addr", ":8742", "HTTP listen address")
+		maxBatch = flag.Int("max-batch", 16, "max right-hand sides per batched sweep")
+		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "max time a solve waits for its batch to fill")
+		queueCap = flag.Int("queue-cap", 256, "per-factor solve queue bound (beyond it requests are shed)")
+		maxFac   = flag.Int("max-factors", 1024, "factor cache entry cap")
+		maxBytes = flag.Int64("max-factor-bytes", 1<<30, "factor cache memory budget (estimated bytes)")
+		maxSym   = flag.Int("max-symbolic", 256, "symbolic (pattern) cache entry cap")
+		noRefine = flag.Bool("no-refine", false, "skip iterative refinement on served solves (faster, berr not driven to eps)")
+
+		loadMode = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
+		clients  = flag.Int("clients", 8, "load: concurrent closed-loop clients")
+		duration = flag.Duration("duration", 2*time.Second, "load: measurement duration")
+		patterns = flag.Int("patterns", 3, "load: distinct sparsity patterns")
+		variants = flag.Int("variants", 4, "load: value variants per pattern (same pattern, new numerics)")
+		scale    = flag.Float64("scale", 0.3, "load: testbed matrix scale")
+	)
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	cfg.MaxBatch = *maxBatch
+	cfg.MaxDelay = *maxDelay
+	cfg.QueueCap = *queueCap
+	cfg.MaxFactors = *maxFac
+	cfg.MaxFactorBytes = *maxBytes
+	cfg.MaxSymbolic = *maxSym
+	if *noRefine {
+		cfg.Options.Refine = false
+	}
+
+	if *loadMode {
+		rep, err := runLoad(cfg, *clients, *duration, *patterns, *variants, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep)
+		return
+	}
+
+	svc := serve.New(cfg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrix", handleMatrix(svc))
+	mux.HandleFunc("POST /v1/solve", handleSolve(svc))
+	mux.HandleFunc("GET /v1/stats", handleStats(svc))
+	log.Printf("listening on %s (max-batch %d, max-delay %v)", *addr, cfg.MaxBatch, cfg.MaxDelay)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// matrixRequest is the POST /v1/matrix body: a triplet (COO) matrix.
+// Duplicate (row, col) entries are summed, the usual assembly rule.
+type matrixRequest struct {
+	N    int       `json:"n"`
+	Rows []int     `json:"rows"`
+	Cols []int     `json:"cols"`
+	Vals []float64 `json:"vals"`
+}
+
+type matrixResponse struct {
+	Handle string `json:"handle"`
+	N      int    `json:"n"`
+	Nnz    int    `json:"nnz"`
+}
+
+type solveRequest struct {
+	Handle string    `json:"handle"`
+	B      []float64 `json:"b"`
+}
+
+type solveResponse struct {
+	X []float64 `json:"x"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		status = http.StatusServiceUnavailable // retryable: back off
+	case errors.Is(err, serve.ErrHandleExpired):
+		status = http.StatusGone // resubmit the matrix
+	case errors.Is(err, serve.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func handleMatrix(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req matrixRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, fmt.Errorf("bad matrix body: %w", err))
+			return
+		}
+		a, err := assembleMatrix(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		h, err := svc.Submit(a)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, matrixResponse{Handle: h.String(), N: h.N, Nnz: a.Nnz()})
+	}
+}
+
+func assembleMatrix(req matrixRequest) (*sparse.CSC, error) {
+	if req.N <= 0 {
+		return nil, fmt.Errorf("matrix dimension %d, want positive", req.N)
+	}
+	if len(req.Rows) != len(req.Vals) || len(req.Cols) != len(req.Vals) {
+		return nil, fmt.Errorf("triplet arrays disagree: %d rows, %d cols, %d vals",
+			len(req.Rows), len(req.Cols), len(req.Vals))
+	}
+	t := sparse.NewTriplet(req.N, req.N)
+	for k := range req.Vals {
+		i, j := req.Rows[k], req.Cols[k]
+		if i < 0 || i >= req.N || j < 0 || j >= req.N {
+			return nil, fmt.Errorf("entry %d at (%d,%d) outside %dx%d", k, i, j, req.N, req.N)
+		}
+		t.Append(i, j, req.Vals[k])
+	}
+	return t.ToCSC(), nil
+}
+
+func handleSolve(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req solveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, fmt.Errorf("bad solve body: %w", err))
+			return
+		}
+		h, err := serve.ParseHandle(req.Handle)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		x, err := svc.Solve(h, req.B)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse{X: x})
+	}
+}
+
+func handleStats(svc *serve.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	}
+}

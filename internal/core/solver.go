@@ -112,6 +112,17 @@ type Stats struct {
 	Berr        float64
 	BerrHistory []float64
 	Converged   bool
+
+	// Phase-run counters: how many times each analysis phase actually
+	// executed while building this Solver. A Solver built by
+	// NewWithSymbolic reports zeros for all but FactorRuns — the proof
+	// that the pattern-reuse path performs no equilibration, matching,
+	// ordering or symbolic work of its own.
+	EquilRuns    int
+	RowPermRuns  int
+	OrderRuns    int
+	SymbolicRuns int
+	FactorRuns   int
 }
 
 // Solver is a factored GESP system ready to solve right-hand sides.
@@ -127,6 +138,8 @@ type Solver struct {
 	sym *symbolic.Result
 	fac *lu.Factors
 	sys refine.System
+
+	patternHash uint64 // structural fingerprint of the ORIGINAL input
 
 	stats Stats
 }
@@ -152,6 +165,7 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 		return nil, fmt.Errorf("core: matrix is %dx%d, want square", a.Rows, a.Cols)
 	}
 	s := &Solver{opts: opts, n: n}
+	s.patternHash = sparse.PatternHash(a)
 	s.stats.N = n
 	s.stats.NnzA = a.Nnz()
 	s.stats.ZeroDiagsIn = a.ZeroDiagonals()
@@ -166,6 +180,7 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 
 	// Step (1a): equilibration.
 	if opts.Equilibrate {
+		s.stats.EquilRuns++
 		t0 := time.Now()
 		eq, err := equil.Equilibrate(work)
 		if err != nil {
@@ -184,6 +199,7 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 	// Step (1b): permute large entries to the diagonal.
 	s.rowMap = sparse.IdentityPerm(n)
 	if opts.RowPermute {
+		s.stats.RowPermRuns++
 		t0 := time.Now()
 		mc, err := matching.MaxProductMatching(work)
 		if err != nil {
@@ -208,6 +224,7 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 
 	// Step (2): fill-reducing ordering, applied to rows AND columns so the
 	// large diagonal stays on the diagonal.
+	s.stats.OrderRuns++
 	t0 := time.Now()
 	pc := ordering.Order(work, opts.Ordering)
 	work = work.PermuteSym(pc)
@@ -217,6 +234,7 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 
 	// Symbolic analysis (static: possible precisely because there is no
 	// dynamic pivoting).
+	s.stats.SymbolicRuns++
 	t0 = time.Now()
 	sym, err := symbolic.Factorize(work, symbolic.Options{MaxSuper: opts.MaxSuper, Relax: opts.Relax})
 	if err != nil {
@@ -232,12 +250,23 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 	if !numeric {
 		return s, nil
 	}
+	if err := s.factorNumeric(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
-	// Step (3): numeric factorization with static pivoting. Workers > 1
-	// selects the DAG-scheduled shared-memory supernodal engine; the
-	// aggressive-pivot/SMW workflow needs the scalar kernels' PivotMods
-	// bookkeeping, so it stays serial.
-	t0 = time.Now()
+// factorNumeric runs step (3) — the numeric factorization with static
+// pivoting — on s.ap using the static structure s.sym, and wires up the
+// triangular-solve system (parallel level schedule, SMW recovery) the
+// same way for the fresh-analysis and symbolic-reuse paths. Workers > 1
+// selects the DAG-scheduled shared-memory supernodal engine; the
+// aggressive-pivot/SMW workflow needs the scalar kernels' PivotMods
+// bookkeeping, so it stays serial.
+func (s *Solver) factorNumeric() error {
+	opts := s.opts
+	s.stats.FactorRuns++
+	t0 := time.Now()
 	luOpts := lu.Options{
 		ReplaceTinyPivot: opts.ReplaceTinyPivot,
 		Aggressive:       opts.AggressivePivot,
@@ -245,12 +274,12 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 	var fac *lu.Factors
 	var err2 error
 	if opts.Workers > 1 && !opts.AggressivePivot {
-		fac, err2 = superlu.FactorizeParallel(work, sym, luOpts, opts.Workers)
+		fac, err2 = superlu.FactorizeParallel(s.ap, s.sym, luOpts, opts.Workers)
 	} else {
-		fac, err2 = lu.Factorize(work, sym, luOpts)
+		fac, err2 = lu.Factorize(s.ap, s.sym, luOpts)
 	}
 	if err2 != nil {
-		return nil, fmt.Errorf("core: factorization: %w", err2)
+		return fmt.Errorf("core: factorization: %w", err2)
 	}
 	s.stats.Times.Factor = time.Since(t0)
 	s.stats.TinyPivots = fac.TinyPivots
@@ -267,9 +296,64 @@ func build(a *sparse.CSC, opts Options, numeric bool) (*Solver, error) {
 	if opts.AggressivePivot && fac.TinyPivots > 0 {
 		smw, err := refine.NewSMWSolver(fac)
 		if err != nil {
-			return nil, fmt.Errorf("core: SMW recovery: %w", err)
+			return fmt.Errorf("core: SMW recovery: %w", err)
 		}
 		s.sys = smw
+	}
+	return nil
+}
+
+// NewWithSymbolic builds a Solver for a matrix whose sparsity pattern is
+// identical to the one donor was built from, reusing the donor's entire
+// analysis — scalings, row permutation, fill-reducing ordering and
+// symbolic structure — and running only the numeric factorization. This
+// is the serving-layer fast path that static pivoting makes possible:
+// the elimination structure depends only on the pattern, so a
+// pattern-identical matrix needs no MC64, no ordering and no symbolic
+// work (the donor's permutation and scalings are value-based and may be
+// mildly stale for the new values; tiny-pivot replacement plus iterative
+// refinement absorb that, the same trade SuperLU_DIST makes for its
+// SamePattern_SameRowPerm option).
+//
+// The donor may have been built by New or NewAnalysis; only its analysis
+// state is read, never written, so one donor may serve concurrent
+// NewWithSymbolic calls. Pattern identity is checked via
+// sparse.PatternHash.
+func NewWithSymbolic(a *sparse.CSC, donor *Solver) (*Solver, error) {
+	if donor == nil || donor.sym == nil {
+		return nil, fmt.Errorf("core: NewWithSymbolic: donor holds no symbolic analysis")
+	}
+	if a.Rows != donor.n || a.Cols != donor.n {
+		return nil, fmt.Errorf("core: NewWithSymbolic: matrix is %dx%d, donor analyzed n=%d", a.Rows, a.Cols, donor.n)
+	}
+	if h := sparse.PatternHash(a); h != donor.patternHash {
+		return nil, fmt.Errorf("core: NewWithSymbolic: pattern fingerprint %#x does not match donor's %#x", h, donor.patternHash)
+	}
+	s := &Solver{
+		opts:        donor.opts,
+		n:           donor.n,
+		rowMap:      donor.rowMap,
+		colMap:      donor.colMap,
+		dR:          donor.dR,
+		dC:          donor.dC,
+		sym:         donor.sym,
+		patternHash: donor.patternHash,
+	}
+	s.stats.N = s.n
+	s.stats.NnzA = a.Nnz()
+	s.stats.ZeroDiagsIn = a.ZeroDiagonals()
+	s.stats.NnzLU = s.sym.FillLU()
+	s.stats.Flops = s.sym.Flops
+	s.stats.NumSuper = s.sym.NumSupernodes()
+	s.stats.AvgSuper = s.sym.AvgSupernode()
+
+	// Rebuild the factored matrix Pc·Pr·DR·A·DC·Pcᵀ from the new values
+	// under the donor's transformations: pure data movement, no analysis.
+	work := a.Clone()
+	work.ScaleRowsCols(s.dR, s.dC)
+	s.ap = work.PermuteRows(s.rowMap).PermuteCols(s.colMap)
+	if err := s.factorNumeric(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -376,9 +460,82 @@ func (s *Solver) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
+// SolveBatch solves A·xᵣ = bᵣ for every right-hand side in bs (original
+// coordinates) through one column-blocked multi-RHS triangular sweep
+// (lu.Factors.SolveMulti): the factors are walked once per block of
+// right-hand sides instead of once per vector, which is where serving
+// throughput comes from. When refinement is enabled it runs per RHS
+// after the batched sweep — refinement's residual/solve iterations are
+// inherently per-vector — and the recorded Berr/RefineSteps stats are
+// those of the LAST vector in the batch.
+//
+// SolveBatch is not safe for concurrent use on one Solver (it mutates
+// solve statistics); the serving layer serializes batches per factor.
+func (s *Solver) SolveBatch(bs [][]float64) ([][]float64, error) {
+	if s.fac == nil {
+		return nil, fmt.Errorf("core: Solver holds no numeric factors; use New or NewWithSymbolic")
+	}
+	k := len(bs)
+	if k == 0 {
+		return nil, nil
+	}
+	for r, b := range bs {
+		if len(b) != s.n {
+			return nil, fmt.Errorf("core: right-hand side %d has length %d, want %d", r, len(b), s.n)
+		}
+	}
+	// Pack b̂ᵣ[rowMap[i]] = dR[i]·bᵣ[i] column-major, one sweep, unpack
+	// xᵣ[j] = dC[j]·ŷᵣ[colMap[j]].
+	t0 := time.Now()
+	packed := make([]float64, s.n*k)
+	for r, b := range bs {
+		seg := packed[r*s.n : (r+1)*s.n]
+		for i := 0; i < s.n; i++ {
+			seg[s.rowMap[i]] = s.dR[i] * b[i]
+		}
+	}
+	var bh []float64
+	if s.opts.Refine {
+		bh = append([]float64(nil), packed...)
+	}
+	s.fac.SolveMulti(packed, k)
+	s.stats.Times.Solve = time.Since(t0)
+
+	if s.opts.Refine {
+		t0 = time.Now()
+		for r := 0; r < k; r++ {
+			st := refine.Refine(s.ap, s.sys, packed[r*s.n:(r+1)*s.n], bh[r*s.n:(r+1)*s.n], refine.Options{
+				MaxIter:        s.opts.MaxRefine,
+				ExtraPrecision: s.opts.ExtraPrecision,
+			})
+			s.stats.RefineSteps = st.Steps
+			s.stats.Berr = st.FinalBerr
+			s.stats.BerrHistory = st.Berrs
+			s.stats.Converged = st.Converged
+		}
+		s.stats.Times.Refine = time.Since(t0)
+	}
+
+	xs := make([][]float64, k)
+	for r := 0; r < k; r++ {
+		y := packed[r*s.n : (r+1)*s.n]
+		x := make([]float64, s.n)
+		for j := 0; j < s.n; j++ {
+			x[j] = s.dC[j] * y[s.colMap[j]]
+		}
+		xs[r] = x
+	}
+	return xs, nil
+}
+
 // Stats returns the accumulated statistics (analysis stats after New,
 // solve/refinement stats after Solve).
 func (s *Solver) Stats() Stats { return s.stats }
+
+// PatternHash returns the structural fingerprint of the ORIGINAL input
+// matrix (sparse.PatternHash), the key under which this Solver's
+// analysis may be reused by NewWithSymbolic.
+func (s *Solver) PatternHash() uint64 { return s.patternHash }
 
 // PermutedMatrix exposes the matrix that was actually factored, in the
 // solver's internal coordinates; distributed drivers and tests use it.

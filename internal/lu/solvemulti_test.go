@@ -1,0 +1,113 @@
+package lu
+
+import (
+	"math/rand"
+	"testing"
+
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+// TestSolveMultiGolden checks the batched kernel against repeated
+// single-RHS Solve calls. The column-blocked sweep performs the same
+// per-RHS updates in the same order, so the agreement should be exact;
+// the round-off tolerance guards the contract rather than the
+// implementation.
+func TestSolveMultiGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 7, 60} {
+		a := randomSolvable(rng, n, 0.15)
+		sym, err := symbolic.Factorize(a, symbolic.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 3, 17} {
+			// One packed multi-RHS buffer and the equivalent k singles.
+			multi := make([]float64, n*k)
+			singles := make([][]float64, k)
+			for r := 0; r < k; r++ {
+				singles[r] = make([]float64, n)
+				for i := 0; i < n; i++ {
+					v := rng.NormFloat64()
+					if rng.Intn(4) == 0 {
+						v = 0 // exercise the zero-skip path
+					}
+					multi[r*n+i] = v
+					singles[r][i] = v
+				}
+			}
+			f.SolveMulti(multi, k)
+			for r := 0; r < k; r++ {
+				f.Solve(singles[r])
+				if e := sparse.RelErrInf(multi[r*n:(r+1)*n], singles[r]); e > 1e-13 {
+					t.Fatalf("n=%d k=%d rhs %d: SolveMulti diverges from Solve by %g", n, k, r, e)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveMultiRecoversSolution solves A·X = B for a known X and checks
+// the batched path end to end, including blocks larger than rhsBlock.
+func TestSolveMultiRecoversSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, k := 48, rhsBlock*2+3 // spans full, full, partial blocks
+	a := randomSolvable(rng, n, 0.2)
+	sym, err := symbolic.Factorize(a, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n*k)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n*k)
+	for r := 0; r < k; r++ {
+		a.MatVec(got[r*n:(r+1)*n], want[r*n:(r+1)*n])
+	}
+	f.SolveMulti(got, k)
+	if e := sparse.RelErrInf(got, want); e > 1e-8 {
+		t.Fatalf("batched solve error %g", e)
+	}
+}
+
+func BenchmarkSolveMulti(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n, k := 400, 16
+	a := randomSolvable(rng, n, 0.05)
+	sym, err := symbolic.Factorize(a, symbolic.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := Factorize(a, sym, Options{ReplaceTinyPivot: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, n*k)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	work := make([]float64, n*k)
+	b.Run("multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(work, rhs)
+			f.SolveMulti(work, k)
+		}
+	})
+	b.Run("repeated-single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(work, rhs)
+			for r := 0; r < k; r++ {
+				f.Solve(work[r*n : (r+1)*n])
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// batcher coalesces solve requests against one factorization into
+// multi-RHS batches. Admission policy: a batch is cut as soon as
+// maxBatch requests are queued, or when the oldest queued request has
+// waited maxDelay, whichever comes first. The queue is bounded at
+// queueCap; requests beyond that are shed immediately with
+// ErrOverloaded rather than blocking the caller — under overload the
+// service degrades by rejecting, never by stalling.
+//
+// Execution is single-flight per factor: at most one goroutine runs
+// batches for a batcher at a time (core.Solver.SolveBatch is not
+// concurrency-safe on one solver), started on demand by the first
+// enqueue and exiting when the queue drains, so an idle factor costs no
+// goroutine.
+type batcher struct {
+	solver   solveBackend
+	maxBatch int
+	maxDelay time.Duration
+	queueCap int
+	m        *Metrics
+
+	// fill carries a nudge from submit to the running cutter when the
+	// queue reaches maxBatch, so a filling batch is cut without waiting
+	// out the delay timer. Buffered: a stale nudge at worst cuts one
+	// batch early, never blocks, never deadlocks.
+	fill chan struct{}
+
+	mu      sync.Mutex
+	queue   []solveReq
+	running bool
+}
+
+// solveBackend is what the batcher needs from core.Solver; an interface
+// so batcher tests can fake pathological backends.
+type solveBackend interface {
+	SolveBatch(bs [][]float64) ([][]float64, error)
+}
+
+type solveReq struct {
+	b    []float64
+	enq  time.Time
+	done chan solveDone
+}
+
+type solveDone struct {
+	x   []float64
+	err error
+}
+
+func newBatcher(solver solveBackend, maxBatch int, maxDelay time.Duration, queueCap int, m *Metrics) *batcher {
+	return &batcher{
+		solver:   solver,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		queueCap: queueCap,
+		m:        m,
+		fill:     make(chan struct{}, 1),
+	}
+}
+
+// submit enqueues one right-hand side and blocks until its batch has
+// been solved. It returns ErrOverloaded without blocking when the queue
+// is full.
+func (b *batcher) submit(rhs []float64) ([]float64, error) {
+	req := solveReq{b: rhs, enq: time.Now(), done: make(chan solveDone, 1)}
+	b.mu.Lock()
+	if len(b.queue) >= b.queueCap {
+		b.mu.Unlock()
+		b.m.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	b.queue = append(b.queue, req)
+	depth := len(b.queue)
+	start := !b.running
+	if start {
+		b.running = true
+	}
+	b.mu.Unlock()
+
+	b.m.queueDepth.Add(1)
+	if start {
+		go b.run()
+	} else if depth >= b.maxBatch {
+		select {
+		case b.fill <- struct{}{}:
+		default:
+		}
+	}
+	d := <-req.done
+	return d.x, d.err
+}
+
+// run is the cutter loop: cut a batch, solve it, repeat until the queue
+// is empty, then exit.
+func (b *batcher) run() {
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.running = false
+			b.mu.Unlock()
+			return
+		}
+		if len(b.queue) < b.maxBatch {
+			// Not full: hold admission until the oldest request has
+			// waited out maxDelay or the queue fills, then cut.
+			wait := b.maxDelay - time.Since(b.queue[0].enq)
+			if wait > 0 {
+				b.mu.Unlock()
+				t := time.NewTimer(wait)
+				select {
+				case <-b.fill:
+					t.Stop()
+				case <-t.C:
+				}
+				b.mu.Lock()
+			}
+		}
+		k := len(b.queue)
+		if k > b.maxBatch {
+			k = b.maxBatch
+		}
+		batch := make([]solveReq, k)
+		copy(batch, b.queue[:k])
+		rest := copy(b.queue, b.queue[k:])
+		for i := rest; i < len(b.queue); i++ {
+			b.queue[i] = solveReq{} // release references held past the cut
+		}
+		b.queue = b.queue[:rest]
+		b.mu.Unlock()
+
+		b.m.queueDepth.Add(-int64(k))
+		b.exec(batch)
+	}
+}
+
+// exec solves one batch and fans the results (or the shared error) back
+// out to the waiting submitters.
+func (b *batcher) exec(batch []solveReq) {
+	bs := make([][]float64, len(batch))
+	for i := range batch {
+		bs[i] = batch[i].b
+	}
+	t0 := time.Now()
+	for i := range batch {
+		b.m.observePhase(PhaseQueue, t0.Sub(batch[i].enq))
+	}
+	xs, err := b.solver.SolveBatch(bs)
+	b.m.observePhase(PhaseSolve, time.Since(t0))
+	b.m.observeBatch(len(batch))
+	for i := range batch {
+		if err != nil {
+			batch[i].done <- solveDone{err: err}
+		} else {
+			batch[i].done <- solveDone{x: xs[i]}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestFactorLRUEviction pins MaxFactors at 2 and walks three distinct
+// systems through: the least-recently-used factor must fall out, its
+// handle must expire, and resubmission must restore it.
+func TestFactorLRUEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFactors = 2
+	svc := New(cfg)
+	defer svc.Close()
+
+	s1 := testbedSystem(t, "SHERMAN4", 0)
+	s2 := testbedSystem(t, "SHERMAN4", 5)
+	s3 := testbedSystem(t, "SHERMAN4", 9)
+
+	h1, err := svc.Submit(s1.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := svc.Submit(s2.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch h1 so h2 becomes the LRU victim.
+	if _, err := svc.Solve(h1, s1.b); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := svc.Submit(s3.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := svc.Stats()
+	if st.FactorEvictions != 1 {
+		t.Fatalf("factor evictions = %d, want 1", st.FactorEvictions)
+	}
+	if st.FactorEntries != 2 {
+		t.Fatalf("factor entries = %d, want 2", st.FactorEntries)
+	}
+	if _, err := svc.Solve(h2, s2.b); !errors.Is(err, ErrHandleExpired) {
+		t.Fatalf("evicted handle: got %v, want ErrHandleExpired", err)
+	}
+	for _, pair := range []struct {
+		h   Handle
+		sys system
+	}{{h1, s1}, {h3, s3}} {
+		x, err := svc.Solve(pair.h, pair.sys.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSolution(t, x, pair.sys.want)
+	}
+
+	// Resubmission restores the evicted system (a fresh factorization,
+	// but still no symbolic work: the pattern is cached).
+	if _, err := svc.Submit(s2.a); err != nil {
+		t.Fatal(err)
+	}
+	x, err := svc.Solve(h2, s2.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, x, s2.want)
+	if st := svc.Stats(); st.SymbolicMisses != 1 {
+		t.Fatalf("re-factor after eviction re-ran analysis: %d misses", st.SymbolicMisses)
+	}
+}
+
+// TestFactorByteBudget sets the byte budget below two resident factors
+// and checks the budget-driven eviction path (the count cap stays slack).
+func TestFactorByteBudget(t *testing.T) {
+	s1 := testbedSystem(t, "SHERMAN4", 0)
+	s2 := testbedSystem(t, "SHERMAN4", 5)
+
+	// Size the budget from a probe service: 1.5 resident factors.
+	probe := New(DefaultConfig())
+	if _, err := probe.Submit(s1.a); err != nil {
+		t.Fatal(err)
+	}
+	oneFactor := probe.Stats().FactorBytes
+	probe.Close()
+
+	cfg := DefaultConfig()
+	cfg.MaxFactorBytes = oneFactor * 3 / 2
+	svc := New(cfg)
+	defer svc.Close()
+	if _, err := svc.Submit(s1.a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(s2.a); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.FactorEvictions != 1 || st.FactorEntries != 1 {
+		t.Fatalf("byte budget: evictions=%d entries=%d, want 1/1", st.FactorEvictions, st.FactorEntries)
+	}
+	if st.FactorBytes > cfg.MaxFactorBytes {
+		t.Fatalf("resident bytes %d exceed budget %d", st.FactorBytes, cfg.MaxFactorBytes)
+	}
+}
+
+// TestSymbolicLRUEviction caps the pattern cache at 1 and alternates two
+// patterns; the second pattern must displace the first.
+func TestSymbolicLRUEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSymbolic = 1
+	svc := New(cfg)
+	defer svc.Close()
+
+	sherman := testbedSystem(t, "SHERMAN4", 0)
+	gemat := testbedSystem(t, "GEMAT11", 0)
+	if _, err := svc.Submit(sherman.a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(gemat.a); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.SymbolicEvictions != 1 || st.SymbolicEntries != 1 {
+		t.Fatalf("symbolic cache: evictions=%d entries=%d, want 1/1", st.SymbolicEvictions, st.SymbolicEntries)
+	}
+	// The displaced pattern re-analyzes on resubmission of a twin.
+	twin := testbedSystem(t, "SHERMAN4", 3)
+	if _, err := svc.Submit(twin.a); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.SymbolicMisses != 3 {
+		t.Fatalf("symbolic misses = %d, want 3 (evicted pattern re-analyzed)", st.SymbolicMisses)
+	}
+}
+
+// TestSingleflightFactorsOnce fires many concurrent submissions of the
+// same system and requires exactly one analysis and one factorization to
+// have happened — the singleflight contract.
+func TestSingleflightFactorsOnce(t *testing.T) {
+	svc := New(DefaultConfig())
+	defer svc.Close()
+	sys := testbedSystem(t, "GEMAT11", 0)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Submit(sys.a); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if got := st.Phases[PhaseAnalyze.String()].Count; got != 1 {
+		t.Fatalf("analyze ran %d times under concurrent submission, want 1", got)
+	}
+	if got := st.Phases[PhaseFactor.String()].Count; got != 1 {
+		t.Fatalf("factor ran %d times under concurrent submission, want 1", got)
+	}
+	if st.FactorEntries != 1 {
+		t.Fatalf("factor entries = %d, want 1", st.FactorEntries)
+	}
+}

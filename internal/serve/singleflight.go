@@ -1,0 +1,51 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent work keyed by K: while one
+// goroutine runs fn for a key, every other caller of Do with the same
+// key blocks and receives the same result instead of repeating the work.
+// The serving cache wraps factorization in one of these so a burst of
+// identical submissions factors once — the classic singleflight
+// discipline, reimplemented here because the module deliberately has no
+// dependencies outside the standard library.
+//
+// Unlike a cache, a flightGroup retains nothing: once the originating
+// call returns and all waiters are released, the key is forgotten.
+type flightGroup[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do runs fn once per concurrent set of callers with the same key and
+// returns fn's result to all of them. shared reports whether the result
+// came from another caller's execution.
+func (g *flightGroup[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall[V])
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

@@ -1,0 +1,59 @@
+package sparse
+
+import "math"
+
+// PatternHash returns a 64-bit structural fingerprint of a's sparsity
+// pattern, independent of the stored values. Two matrices with identical
+// (Rows, Cols, ColPtr, RowInd) — the canonical CSC pattern, since row
+// indices are sorted and unique within each column — hash equal; the
+// values play no part. The serving layer keys its symbolic-analysis
+// cache on this hash: the whole premise of static pivoting is that the
+// elimination structure depends only on the pattern, so symbolic work is
+// reusable across every matrix sharing a fingerprint.
+//
+// The hash is FNV-1a over the dimensions, the column lengths and the row
+// indices, each mixed in as 8 little-endian bytes. It is deterministic
+// across runs and platforms. Collisions are possible in principle
+// (probability ~2⁻⁶⁴ per pair); callers that cannot tolerate them must
+// compare patterns explicitly.
+func PatternHash(a *CSC) uint64 {
+	h := fnvOffset
+	h = fnvMix(h, uint64(a.Rows))
+	h = fnvMix(h, uint64(a.Cols))
+	for j := 0; j < a.Cols; j++ {
+		h = fnvMix(h, uint64(a.ColPtr[j+1]-a.ColPtr[j]))
+	}
+	for _, i := range a.RowInd[:a.Nnz()] {
+		h = fnvMix(h, uint64(i))
+	}
+	return h
+}
+
+// ValueHash returns a 64-bit fingerprint of a's stored values (their
+// IEEE-754 bit patterns, in storage order), complementing PatternHash:
+// the pair (PatternHash, ValueHash) identifies a matrix up to hash
+// collision. The serving layer keys numeric factors on the pair. Note
+// that two CSCs holding equal values under different patterns can hash
+// equal here — ValueHash is only meaningful alongside PatternHash.
+func ValueHash(a *CSC) uint64 {
+	h := fnvOffset
+	for _, v := range a.Val[:a.Nnz()] {
+		h = fnvMix(h, math.Float64bits(v))
+	}
+	return h
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a state byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for b := 0; b < 8; b++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
