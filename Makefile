@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race checktest servebench verify bench
+.PHONY: build test vet lint race checktest chaostest servebench verify bench
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ race:
 checktest:
 	$(GO) test -tags gespcheck ./internal/...
 
+# Fault drill: the deterministic fault-injection suite (faultsim), the
+# resilience ladder's rung-by-rung recovery tests, the laddered core
+# integration, and the serve-layer chaos tests — all under the race
+# detector with the gespcheck invariants on, so an escalation that
+# corrupts structure or races the batcher fails loudly.
+chaostest:
+	$(GO) test -race -tags gespcheck ./internal/faultsim/... ./internal/resilience/... ./internal/core/... ./internal/serve/...
+
 # Serving-layer smoke: one short closed-loop throughput measurement
 # plus a single-iteration run of the serve benchmark. Catches wiring
 # breakage in cmd/gesp-serve and the experiment harness without the
@@ -41,8 +49,9 @@ servebench:
 
 # The full pre-commit gate: static checks, build, the complete test
 # suite, the race detector over the concurrent packages, the
-# invariant-checked build, and the serving-layer smoke.
-verify: vet lint build test race checktest servebench
+# invariant-checked build, the fault drill, and the serving-layer
+# smoke.
+verify: vet lint build test race checktest chaostest servebench
 
 bench:
 	$(GO) test -bench=. -benchmem .

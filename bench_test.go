@@ -18,8 +18,10 @@ import (
 	"gesp/internal/core"
 	"gesp/internal/dist"
 	"gesp/internal/experiments"
+	"gesp/internal/faultsim"
 	"gesp/internal/lu"
 	"gesp/internal/matgen"
+	"gesp/internal/resilience"
 	"gesp/internal/serve"
 	"gesp/internal/sparse"
 	"gesp/internal/superlu"
@@ -462,6 +464,53 @@ func BenchmarkSupernodalVsColumnFactor(b *testing.B) {
 	b.Run("supernodal", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := superlu.Factorize(ap, sym, lu.Options{ReplaceTinyPivot: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkResilienceLadder(b *testing.B) {
+	// The resilience ladder's two cost regimes: the guarded happy path
+	// (rung 0, must be indistinguishable from plain solve+refine) and a
+	// full escalation to the GEPP refactorization rung. The gap between
+	// the two is the price of the safety contract when it actually fires.
+	m, _ := matgen.Lookup("SHERMAN4")
+	a := m.Generate(benchScale)
+	want := make([]float64, a.Rows)
+	for i := range want {
+		want[i] = 1
+	}
+	rhs := make([]float64, a.Rows)
+	a.MatVec(rhs, want)
+
+	opts := core.DefaultOptions()
+	opts.Resilience = &resilience.Policy{}
+	b.Run("rung0", func(b *testing.B) {
+		s, err := core.New(a, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := s.Stats()
+		b.ReportMetric(float64(st.Escalations), "escalations")
+	})
+	b.Run("escalate-gepp", func(b *testing.B) {
+		inj := faultsim.New(1)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := core.New(a, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inj.CorruptFactors(s.Factors(), 3)
+			b.StartTimer()
+			if _, err := s.Solve(rhs); err != nil {
 				b.Fatal(err)
 			}
 		}

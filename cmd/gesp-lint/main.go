@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gesp-lint [-checks detclock,hotalloc,mapiter,floatcmp] [-tags taglist] [packages]
+//	gesp-lint [-checks detclock,errdrop,hotalloc,mapiter,floatcmp] [-tags taglist] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The exit
 // status is 1 when any diagnostic is reported, 2 on usage or load
@@ -21,6 +21,7 @@ import (
 
 	"gesp/internal/analysis"
 	"gesp/internal/analysis/detclock"
+	"gesp/internal/analysis/errdrop"
 	"gesp/internal/analysis/floatcmp"
 	"gesp/internal/analysis/hotalloc"
 	"gesp/internal/analysis/mapiter"
@@ -28,6 +29,7 @@ import (
 
 var all = []*analysis.Analyzer{
 	detclock.Analyzer,
+	errdrop.Analyzer,
 	floatcmp.Analyzer,
 	hotalloc.Analyzer,
 	mapiter.Analyzer,

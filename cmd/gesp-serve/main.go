@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,6 +28,7 @@ import (
 	"net/http"
 	"time"
 
+	"gesp/internal/resilience"
 	"gesp/internal/serve"
 	"gesp/internal/sparse"
 )
@@ -43,6 +45,11 @@ func main() {
 		maxBytes = flag.Int64("max-factor-bytes", 1<<30, "factor cache memory budget (estimated bytes)")
 		maxSym   = flag.Int("max-symbolic", 256, "symbolic (pattern) cache entry cap")
 		noRefine = flag.Bool("no-refine", false, "skip iterative refinement on served solves (faster, berr not driven to eps)")
+
+		resil        = flag.Bool("resilience", false, "run every solve through the numerical resilience ladder (escalates from static pivoting to GEPP on backward-error trouble)")
+		rungDeadline = flag.Duration("rung-deadline", 0, "resilience: per-rung time budget (0 = unbounded)")
+		solveTimeout = flag.Duration("solve-timeout", 0, "per-request solve deadline (0 = none)")
+		degrade      = flag.Bool("degrade", false, "on overload, serve a degraded factor-preconditioned GMRES solve instead of shedding with 503")
 
 		loadMode = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
 		clients  = flag.Int("clients", 8, "load: concurrent closed-loop clients")
@@ -63,6 +70,11 @@ func main() {
 	if *noRefine {
 		cfg.Options.Refine = false
 	}
+	if *resil {
+		cfg.Options.Resilience = &resilience.Policy{RungDeadline: *rungDeadline}
+	}
+	cfg.SolveTimeout = *solveTimeout
+	cfg.DegradeOnOverload = *degrade
 
 	if *loadMode {
 		rep, err := runLoad(cfg, *clients, *duration, *patterns, *variants, *scale)
@@ -127,6 +139,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusGone // resubmit the matrix
 	case errors.Is(err, serve.ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout // solve deadline hit; retry or relax -solve-timeout
+	case errors.Is(err, resilience.ErrNonFiniteRHS):
+		status = http.StatusUnprocessableEntity // NaN/Inf in b; no rung can fix the input
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -183,7 +199,7 @@ func handleSolve(svc *serve.Service) http.HandlerFunc {
 			writeErr(w, err)
 			return
 		}
-		x, err := svc.Solve(h, req.B)
+		x, err := svc.SolveCtx(r.Context(), h, req.B)
 		if err != nil {
 			writeErr(w, err)
 			return

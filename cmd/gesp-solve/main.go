@@ -135,7 +135,8 @@ func loadMatrix(file, name string, scale float64) (*sparse.CSC, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		defer f.Close()
+		// Read-only file: a close failure loses nothing.
+		defer f.Close() //gesp:errok
 		// Harwell-Boeing by extension (.rua/.rsa/.hb), MatrixMarket else.
 		lower := strings.ToLower(file)
 		if strings.HasSuffix(lower, ".rua") || strings.HasSuffix(lower, ".rsa") || strings.HasSuffix(lower, ".hb") {

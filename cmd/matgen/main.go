@@ -78,6 +78,12 @@ func writeMatrix(a *sparse.CSC, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return sparse.WriteMatrixMarket(f, a)
+	if err := sparse.WriteMatrixMarket(f, a); err != nil {
+		// The write error is the one worth reporting.
+		f.Close() //gesp:errok
+		return err
+	}
+	// On a written file the close error matters: it is where buffered
+	// write failures surface.
+	return f.Close()
 }

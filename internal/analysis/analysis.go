@@ -17,6 +17,9 @@
 //	                    insensitive; silences mapiter.
 //	//gesp:floateq    — the annotated float comparison is intentionally
 //	                    exact; silences floatcmp.
+//	//gesp:errok      — the annotated call's error is deliberately
+//	                    discarded (say why in a comment); silences
+//	                    errdrop.
 //
 // Like //go:build directives, these are written with no space after
 // "//" and are therefore excluded from godoc text.

@@ -1,0 +1,214 @@
+// Package errdrop flags call sites that silently discard an error
+// result. In a solver whose whole point is *reporting* numerical
+// trouble instead of crashing on it (static pivoting's contract), a
+// dropped error is how a singular factorization or an overloaded queue
+// turns into silent garbage: every error must be handled, returned, or
+// visibly waived.
+//
+// Two shapes are flagged:
+//
+//   - a call used as a bare statement (including go/defer) whose result
+//     tuple contains an error that nobody receives;
+//   - an assignment that lands an error result in the blank identifier
+//     (x, _ := f() or _ = f()).
+//
+// Exemptions, because their error results are unconditionally nil by
+// documented contract or write to a human, not a caller:
+//
+//   - fmt.Print, fmt.Printf, fmt.Println and fmt.Fprint* aimed at
+//     os.Stdout or os.Stderr (terminal output);
+//   - fmt.Fprint* into a *strings.Builder or *bytes.Buffer, and the
+//     Write*/WriteString methods of those types — both never fail;
+//   - sites annotated //gesp:errok on (or directly above) the call, or
+//     inside a function whose doc comment carries //gesp:errok.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gesp/internal/analysis"
+)
+
+// Analyzer is the errdrop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error returns (bare-statement calls and blank assignments); " +
+		"infallible fmt/Builder writes and //gesp:errok sites are exempt",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		dirs := analysis.FileDirectives(pass.Fset, f)
+		exempt := func(pos ast.Node) bool {
+			return dirs.At(pos.Pos(), "errok") ||
+				analysis.EnclosingFuncHasDirective(f, pos.Pos(), "errok")
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkBare(pass, call, exempt)
+				}
+			case *ast.DeferStmt:
+				checkBare(pass, st.Call, exempt)
+			case *ast.GoStmt:
+				checkBare(pass, st.Call, exempt)
+			case *ast.AssignStmt:
+				checkBlank(pass, st, exempt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBare flags a call used as a statement when its results include
+// an error nobody receives.
+func checkBare(pass *analysis.Pass, call *ast.CallExpr, exempt func(ast.Node) bool) {
+	if !returnsError(pass, call) || infallible(pass, call) || exempt(call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; "+
+		"handle it, return it, or annotate //gesp:errok", callName(call))
+}
+
+// checkBlank flags error results assigned to the blank identifier.
+func checkBlank(pass *analysis.Pass, st *ast.AssignStmt, exempt func(ast.Node) bool) {
+	// x, _ := f(): one call, its tuple split across the left-hand sides.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || infallible(pass, call) {
+			return
+		}
+		tuple, ok := pass.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(st.Lhs) {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) && !exempt(st) {
+				pass.Reportf(lhs.Pos(), "error result of %s assigned to _; "+
+					"handle it, return it, or annotate //gesp:errok", callName(call))
+				return
+			}
+		}
+		return
+	}
+	// _ = f() pairwise.
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		if call, ok := st.Rhs[i].(*ast.CallExpr); ok &&
+			isErrorType(pass.TypeOf(call)) && !infallible(pass, call) && !exempt(st) {
+			pass.Reportf(lhs.Pos(), "error result of %s assigned to _; "+
+				"handle it, return it, or annotate //gesp:errok", callName(call))
+		}
+	}
+}
+
+// returnsError reports whether the call's result type is, or contains,
+// an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch t := pass.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// infallible recognizes the calls whose error result is nil by
+// documented contract: terminal prints, and writes into the two
+// standard in-memory buffers.
+func infallible(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print*/Fprint* on an in-memory sink.
+	if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+		if obj, ok := pass.TypesInfo.Uses[pkg]; ok {
+			if pn, ok := obj.(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				switch sel.Sel.Name {
+				case "Print", "Printf", "Println":
+					return true
+				case "Fprint", "Fprintf", "Fprintln":
+					return len(call.Args) > 0 &&
+						(isMemWriter(pass.TypeOf(call.Args[0])) || isStdStream(pass, call.Args[0]))
+				}
+			}
+		}
+	}
+	// Builder/Buffer method calls: (&b).WriteString(...) etc.
+	return isMemWriter(pass.TypeOf(sel.X))
+}
+
+// isMemWriter reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer, whose Write methods never return a non-nil error.
+func isMemWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream reports whether e names os.Stdout or os.Stderr.
+func isStdStream(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[pkg]
+	if !ok {
+		return false
+	}
+	pn, ok := obj.(*types.PkgName)
+	return ok && pn.Imported().Path() == "os"
+}
+
+// callName renders the called expression for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"gesp/internal/analysis/analysistest"
+	"gesp/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdrop.Analyzer, "dropped")
+}

@@ -1,0 +1,63 @@
+// Package dropped is an errdrop fixture.
+package dropped
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func fallible() error                  { return nil }
+func falliblePair() (int, error)       { return 0, nil }
+func infallibleFn() int                { return 0 }
+func sink(w fmt.Stringer) (int, error) { return 0, nil }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func bareStatement() {
+	fallible()     // want `result of fallible includes an error that is discarded`
+	falliblePair() // want `result of falliblePair includes an error that is discarded`
+	infallibleFn() // no error in the tuple: fine
+}
+
+func deferredAndGone(c closer) {
+	defer fallible() // want `result of fallible includes an error that is discarded`
+	go c.Close()     // want `result of c.Close includes an error that is discarded`
+}
+
+func blankAssigned() {
+	_ = fallible()         // want `error result of fallible assigned to _`
+	n, _ := falliblePair() // want `error result of falliblePair assigned to _`
+	_ = n
+	x, err := falliblePair() // receiving the error is the point
+	_, _ = x, err
+}
+
+func waived() {
+	//gesp:errok
+	_ = fallible()
+	fallible() //gesp:errok
+}
+
+//gesp:errok
+func wholeFuncWaived() {
+	fallible()
+	_ = fallible()
+}
+
+func memWriters() {
+	var b strings.Builder
+	var buf bytes.Buffer
+	b.WriteString("x")            // infallible by contract
+	buf.WriteByte('y')            // infallible by contract
+	fmt.Fprintf(&b, "z %d", 1)    // in-memory sink: exempt
+	fmt.Fprintln(&buf, "w")       // in-memory sink: exempt
+	fmt.Println(b.String())       // terminal print: exempt
+	fmt.Fprintf(stderrLike{}, "") // want `result of fmt.Fprintf includes an error that is discarded`
+}
+
+type stderrLike struct{}
+
+func (stderrLike) Write(p []byte) (int, error) { return len(p), nil }

@@ -16,15 +16,19 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"gesp/internal/dist"
 	"gesp/internal/equil"
+	"gesp/internal/krylov"
 	"gesp/internal/lu"
 	"gesp/internal/matching"
 	"gesp/internal/ordering"
 	"gesp/internal/refine"
+	"gesp/internal/resilience"
 	"gesp/internal/sparse"
 	"gesp/internal/superlu"
 	"gesp/internal/symbolic"
@@ -67,6 +71,14 @@ type Options struct {
 	// the serial engine regardless — the block kernels do not record the
 	// rank-one pivot perturbations SMW recovery needs.
 	Workers int
+	// Resilience, when non-nil, routes every Solve/SolveBatch through the
+	// escalation ladder of internal/resilience: plain GESP refinement
+	// first, then (as the backward error dictates) extra-precision
+	// refinement, SMW recovery, LU-preconditioned GMRES and finally a
+	// partial-pivoting refactorization. It supersedes the Refine/
+	// MaxRefine/ExtraPrecision toggles for those calls. The pointed-to
+	// Policy is read once at factorization time.
+	Resilience *resilience.Policy
 }
 
 // DefaultOptions returns the paper's recommended configuration.
@@ -113,6 +125,20 @@ type Stats struct {
 	BerrHistory []float64
 	Converged   bool
 
+	// CondEst is the last condition estimate computed by Solver.CondEst;
+	// CondEstConverged records whether Hager's iteration reached its
+	// fixed point (false means the estimate is a weaker lower bound).
+	CondEst          float64
+	CondEstConverged bool
+
+	// Resilience counters (zero unless Options.Resilience is set):
+	// Escalations counts solves that climbed above rung 0, LastRung is
+	// the rung the most recent solve ended on, FallbackTime accumulates
+	// the wall-clock spent above rung 0.
+	Escalations  int
+	LastRung     resilience.Rung
+	FallbackTime time.Duration
+
 	// Phase-run counters: how many times each analysis phase actually
 	// executed while building this Solver. A Solver built by
 	// NewWithSymbolic reports zeros for all but FactorRuns — the proof
@@ -138,6 +164,11 @@ type Solver struct {
 	sym *symbolic.Result
 	fac *lu.Factors
 	sys refine.System
+
+	// ladder is the escalation engine (nil unless Options.Resilience);
+	// it owns scratch, so Solve/SolveBatch with a ladder are not safe
+	// for concurrent use — same contract as the stats fields.
+	ladder *resilience.Ladder
 
 	patternHash uint64 // structural fingerprint of the ORIGINAL input
 
@@ -300,6 +331,9 @@ func (s *Solver) factorNumeric() error {
 		}
 		s.sys = smw
 	}
+	if opts.Resilience != nil {
+		s.ladder = resilience.NewLadder(s.ap, s.fac, s.sys, *opts.Resilience)
+	}
 	return nil
 }
 
@@ -418,20 +452,49 @@ func (s *Solver) DistSolve(b []float64, dopts dist.Options) ([]float64, *dist.Re
 }
 
 // Solve computes x with A·x = b (original coordinates), running step (4)
-// refinement when enabled. It may be called repeatedly with different
-// right-hand sides.
+// refinement — or the full resilience ladder — when enabled. It may be
+// called repeatedly with different right-hand sides.
 func (s *Solver) Solve(b []float64) ([]float64, error) {
+	return s.SolveCtx(context.Background(), b)
+}
+
+// SolveCtx is Solve with a context: with a resilience ladder the climb
+// honors ctx cancellation and deadlines between refinement iterations
+// and inside the Krylov rung; without one the context is only checked on
+// entry. On ladder exhaustion the best iterate found is returned
+// alongside the error (errors.Is(err, resilience.ErrUnrecovered)).
+func (s *Solver) SolveCtx(ctx context.Context, b []float64) ([]float64, error) {
 	if len(b) != s.n {
 		return nil, fmt.Errorf("core: right-hand side length %d, want %d", len(b), s.n)
 	}
 	if s.sys == nil {
 		return nil, fmt.Errorf("core: Solver built with NewAnalysis holds no numeric factors; use DistSolve or New")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// b̂[rowMap[i]] = dR[i]·b[i]; solve Â·ŷ = b̂; x[j] = dC[j]·ŷ[colMap[j]].
 	bh := make([]float64, s.n)
 	for i := 0; i < s.n; i++ {
 		bh[s.rowMap[i]] = s.dR[i] * b[i]
 	}
+
+	if s.ladder != nil {
+		y := make([]float64, s.n)
+		t0 := time.Now()
+		tr, err := s.ladder.Solve(ctx, y, bh)
+		s.stats.Times.Solve = time.Since(t0)
+		s.recordEscalation(tr)
+		if err != nil {
+			if tr.Converged || errorsIsUnrecovered(err) {
+				// Best-effort iterate travels with the error.
+				return s.unscale(y), err
+			}
+			return nil, err
+		}
+		return s.unscale(y), nil
+	}
+
 	t0 := time.Now()
 	y := append([]float64(nil), bh...)
 	s.sys.Solve(y)
@@ -453,12 +516,88 @@ func (s *Solver) Solve(b []float64) ([]float64, error) {
 		s.stats.Converged = s.stats.Berr <= lu.Eps
 	}
 
+	return s.unscale(y), nil
+}
+
+// unscale maps a solution from the solver's internal coordinates back to
+// the original ones: x[j] = dC[j]·ŷ[colMap[j]].
+func (s *Solver) unscale(y []float64) []float64 {
 	x := make([]float64, s.n)
 	for j := 0; j < s.n; j++ {
 		x[j] = s.dC[j] * y[s.colMap[j]]
 	}
-	return x, nil
+	return x
 }
+
+// recordEscalation folds a ladder trace into the solve statistics.
+func (s *Solver) recordEscalation(tr *resilience.Escalation) {
+	iters := 0
+	for _, st := range tr.Steps {
+		iters += st.Iterations
+	}
+	s.stats.RefineSteps = iters
+	s.stats.Berr = tr.FinalBerr
+	s.stats.Converged = tr.Converged
+	s.stats.LastRung = tr.FinalRung
+	if tr.Escalated() {
+		s.stats.Escalations++
+		s.stats.FallbackTime += tr.FallbackCost()
+	}
+	s.stats.Times.Refine = tr.Total
+}
+
+func errorsIsUnrecovered(err error) bool {
+	return errors.Is(err, resilience.ErrUnrecovered)
+}
+
+// Escalation returns the trace of the most recent resilient solve (nil
+// without Options.Resilience). The pointee is overwritten by the next
+// solve on this Solver.
+func (s *Solver) Escalation() *resilience.Escalation {
+	if s.ladder == nil {
+		return nil
+	}
+	return s.ladder.LastTrace()
+}
+
+// SolveIterative solves A·x = b with GMRES preconditioned by the
+// existing LU factors, never touching refinement or the ladder. This is
+// the serving layer's load-shedding path: unlike Solve/SolveBatch it is
+// safe to call concurrently with batched solves on the same Solver (it
+// allocates its own workspace and records no statistics), trading the
+// direct path's guarantees for bounded, cancellable work under overload.
+func (s *Solver) SolveIterative(ctx context.Context, b []float64, opts krylov.Options) ([]float64, krylov.Stats, error) {
+	if len(b) != s.n {
+		return nil, krylov.Stats{}, fmt.Errorf("core: right-hand side length %d, want %d", len(b), s.n)
+	}
+	if s.fac == nil {
+		return nil, krylov.Stats{}, fmt.Errorf("core: Solver holds no numeric factors; use New or NewWithSymbolic")
+	}
+	bh := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		bh[s.rowMap[i]] = s.dR[i] * b[i]
+	}
+	prev := opts.Cancel
+	opts.Cancel = func() bool {
+		return ctx.Err() != nil || (prev != nil && prev())
+	}
+	y := make([]float64, s.n)
+	_, st := krylov.GMRES(s.ap, facPreconditioner{s.fac}, y, bh, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+	if !st.Converged {
+		return s.unscale(y), st, fmt.Errorf("core: iterative solve stopped at relative residual %.3e after %d iterations", st.Residual, st.Iterations)
+	}
+	return s.unscale(y), st, nil
+}
+
+// facPreconditioner adapts the LU factors to krylov.Preconditioner.
+// Factors.Solve only reads factor data and mutates its argument, so the
+// adapter is safe for concurrent use with distinct vectors.
+type facPreconditioner struct{ f *lu.Factors }
+
+func (p facPreconditioner) Apply(x []float64) { p.f.Solve(x) }
 
 // SolveBatch solves A·xᵣ = bᵣ for every right-hand side in bs (original
 // coordinates) through one column-blocked multi-RHS triangular sweep
@@ -472,17 +611,40 @@ func (s *Solver) Solve(b []float64) ([]float64, error) {
 // SolveBatch is not safe for concurrent use on one Solver (it mutates
 // solve statistics); the serving layer serializes batches per factor.
 func (s *Solver) SolveBatch(bs [][]float64) ([][]float64, error) {
+	xs, errs, err := s.SolveBatchCtx(context.Background(), bs)
+	if err == nil {
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	return xs, err
+}
+
+// SolveBatchCtx is SolveBatch with a context and per-vector error
+// reporting. With a resilience ladder, each right-hand side is
+// individually escalated after the shared triangular sweep; a vector
+// whose ladder fails keeps its best-effort iterate and its error lands
+// in errs[r] (errs is nil when every vector succeeded), so one poisoned
+// right-hand side cannot fail its batch-mates. The third result is a
+// batch-level failure: validation or context cancellation.
+func (s *Solver) SolveBatchCtx(ctx context.Context, bs [][]float64) (xs [][]float64, errs []error, err error) {
 	if s.fac == nil {
-		return nil, fmt.Errorf("core: Solver holds no numeric factors; use New or NewWithSymbolic")
+		return nil, nil, fmt.Errorf("core: Solver holds no numeric factors; use New or NewWithSymbolic")
 	}
 	k := len(bs)
 	if k == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	for r, b := range bs {
 		if len(b) != s.n {
-			return nil, fmt.Errorf("core: right-hand side %d has length %d, want %d", r, len(b), s.n)
+			return nil, nil, fmt.Errorf("core: right-hand side %d has length %d, want %d", r, len(b), s.n)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	// Pack b̂ᵣ[rowMap[i]] = dR[i]·bᵣ[i] column-major, one sweep, unpack
 	// xᵣ[j] = dC[j]·ŷᵣ[colMap[j]].
@@ -494,14 +656,31 @@ func (s *Solver) SolveBatch(bs [][]float64) ([][]float64, error) {
 			seg[s.rowMap[i]] = s.dR[i] * b[i]
 		}
 	}
+	refining := s.opts.Refine || s.ladder != nil
 	var bh []float64
-	if s.opts.Refine {
+	if refining {
 		bh = append([]float64(nil), packed...)
 	}
 	s.fac.SolveMulti(packed, k)
 	s.stats.Times.Solve = time.Since(t0)
 
-	if s.opts.Refine {
+	if s.ladder != nil {
+		t0 = time.Now()
+		for r := 0; r < k; r++ {
+			tr, rerr := s.ladder.Refine(ctx, packed[r*s.n:(r+1)*s.n], bh[r*s.n:(r+1)*s.n])
+			s.recordEscalation(tr)
+			if rerr != nil {
+				if ctx.Err() != nil {
+					return nil, nil, rerr
+				}
+				if errs == nil {
+					errs = make([]error, k)
+				}
+				errs[r] = rerr
+			}
+		}
+		s.stats.Times.Refine = time.Since(t0)
+	} else if s.opts.Refine {
 		t0 = time.Now()
 		for r := 0; r < k; r++ {
 			st := refine.Refine(s.ap, s.sys, packed[r*s.n:(r+1)*s.n], bh[r*s.n:(r+1)*s.n], refine.Options{
@@ -516,16 +695,11 @@ func (s *Solver) SolveBatch(bs [][]float64) ([][]float64, error) {
 		s.stats.Times.Refine = time.Since(t0)
 	}
 
-	xs := make([][]float64, k)
+	xs = make([][]float64, k)
 	for r := 0; r < k; r++ {
-		y := packed[r*s.n : (r+1)*s.n]
-		x := make([]float64, s.n)
-		for j := 0; j < s.n; j++ {
-			x[j] = s.dC[j] * y[s.colMap[j]]
-		}
-		xs[r] = x
+		xs[r] = s.unscale(packed[r*s.n : (r+1)*s.n])
 	}
-	return xs, nil
+	return xs, errs, nil
 }
 
 // Stats returns the accumulated statistics (analysis stats after New,
@@ -548,9 +722,13 @@ func (s *Solver) Symbolic() *symbolic.Result { return s.sym }
 func (s *Solver) Factors() *lu.Factors { return s.fac }
 
 // CondEst estimates the 1-norm condition number of the factored
-// (permuted, scaled) matrix.
+// (permuted, scaled) matrix, recording the estimate and Hager
+// convergence flag in Stats.
 func (s *Solver) CondEst() float64 {
-	return refine.Cond1Est(s.ap, s.sys)
+	est, ok := refine.Cond1Est(s.ap, s.sys)
+	s.stats.CondEst = est
+	s.stats.CondEstConverged = ok
+	return est
 }
 
 // ForwardErrorBound estimates the componentwise forward error of the

@@ -76,6 +76,8 @@ func IterativeAblation(names []string, scale float64) ([]IterativeRow, error) {
 }
 
 // PrintIterative renders the ILU/GMRES preprocessing study.
+//
+//gesp:errok
 func PrintIterative(w io.Writer, rows []IterativeRow) {
 	fmt.Fprintln(w, "ILU(0)+GMRES with and without GESP step-(1) preprocessing")
 	fmt.Fprintln(w, "(Duff & Koster, recounted in the paper's related work: the large-diagonal")

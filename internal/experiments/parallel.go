@@ -51,6 +51,8 @@ func Table2(scale float64) []Table2Row {
 }
 
 // PrintTable2 renders Table 2.
+//
+//gesp:errok
 func PrintTable2(w io.Writer, scale float64) {
 	fmt.Fprintf(w, "Table 2: characteristics of the parallel test matrices (scale=%.2f)\n", scale)
 	fmt.Fprintf(w, "%-10s %8s %10s %12s %12s %7s %7s %8s\n",
@@ -139,6 +141,8 @@ func RunScaling(scale float64, procs []int, pipeline, prune bool) ([]ScalingRow,
 }
 
 // PrintTable3 renders factorization time and peak Mflop rate per matrix.
+//
+//gesp:errok
 func PrintTable3(w io.Writer, rows []ScalingRow, procs []int) {
 	fmt.Fprintln(w, "Table 3: LU factorization, simulated seconds on the modelled T3E-900")
 	fmt.Fprintf(w, "%-10s", "Matrix")
@@ -156,6 +160,8 @@ func PrintTable3(w io.Writer, rows []ScalingRow, procs []int) {
 }
 
 // PrintTable4 renders the triangular solve sweep.
+//
+//gesp:errok
 func PrintTable4(w io.Writer, rows []ScalingRow, procs []int) {
 	fmt.Fprintln(w, "Table 4: triangular solves, simulated seconds (paper: flattens beyond 64 PEs)")
 	fmt.Fprintf(w, "%-10s", "Matrix")
@@ -197,6 +203,8 @@ func Table5At(rows []ScalingRow, procs []int, p int) []ScalingRow {
 }
 
 // PrintTable5 renders load balance and communication fractions.
+//
+//gesp:errok
 func PrintTable5(w io.Writer, rows []ScalingRow, procs []int, p int) {
 	shown := Table5At(rows, procs, p)
 	if len(shown) > 0 && shown[0].Cells[0].Procs != p {
@@ -272,6 +280,8 @@ func PipelineAblation(name string, scale float64, procs int) (AblationResult, er
 }
 
 // PrintAblation renders one ablation pair.
+//
+//gesp:errok
 func PrintAblation(w io.Writer, label string, r AblationResult) {
 	fmt.Fprintf(w, "%s on %s, P=%d:\n", label, r.Name, r.Procs)
 	fmt.Fprintf(w, "  factor messages : %d -> %d (%.1f%% fewer)\n",

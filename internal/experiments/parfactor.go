@@ -114,6 +114,8 @@ func ParallelFactorSweep(names []string, scale float64, workerCounts []int) ([]P
 
 // PrintParFactor renders the sweep as a human-readable table (the
 // non-JSON output of gesp-bench -exp parfactor).
+//
+//gesp:errok
 func PrintParFactor(w io.Writer, rows []ParFactorRow) {
 	fmt.Fprintln(w, "Factorization engines (wall-clock; mpisim reports the virtual clock too):")
 	fmt.Fprintf(w, "%-10s %-14s %8s %12s %12s %10s\n", "Matrix", "Variant", "workers", "wall(ms)", "sim(ms)", "Mflops")

@@ -317,6 +317,8 @@ func serveKernelAmortization(scale float64, k int) (float64, error) {
 
 // PrintServe formats the serving ablation like the repo's other
 // experiment tables.
+//
+//gesp:errok
 func PrintServe(w io.Writer, res *ServeAblationResult) {
 	rows := res.Rows
 	fmt.Fprintln(w, "Serving-layer throughput/latency (closed loop; factor-cached solves):")

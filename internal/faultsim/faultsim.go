@@ -1,0 +1,156 @@
+// Package faultsim is a deterministic fault injector for the numerical
+// resilience ladder. Every generator is driven by a seedable PRNG so a
+// failing chaos run reproduces from its seed alone, and each fault is
+// engineered to defeat a specific layer of the GESP safety story:
+//
+//   - NearSingular builds a matrix whose near-singularity funnels
+//     through a pivot far below the sqrt(eps)·‖A‖ replacement
+//     threshold, so static pivoting's perturbed factorization is
+//     ill-conditioned and plain refinement stalls (the SMW rung's
+//     raison d'être);
+//   - PerturbValues simulates the serving layer's stale-analysis
+//     hazard — new values under a cached pattern — at an adversarial
+//     amplitude chosen by the caller;
+//   - IllConditioned ramps the diagonal across a chosen condition
+//     number, stressing refinement and the condition estimator;
+//   - PoisonRHS plants NaN/Inf in a right-hand side;
+//   - CorruptFactors flips stored factor values to NaN, the in-memory
+//     factor-cache corruption that fingerprint verification catches.
+package faultsim
+
+import (
+	"math"
+	"math/rand"
+
+	"gesp/internal/lu"
+	"gesp/internal/sparse"
+)
+
+// Injector is a seeded fault source. The zero value is not usable; get
+// one from New. Injectors are not safe for concurrent use — give each
+// goroutine its own (derive per-goroutine seeds from one master seed).
+type Injector struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// New returns an injector whose entire output is a pure function of
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the injector's seed, for failure reports.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// WellConditioned returns an n×n strictly diagonally dominant sparse
+// matrix with ~density off-diagonal fill: the matrix every ladder test
+// starts from, guaranteed to factor without pivot replacement.
+func (in *Injector) WellConditioned(n int, density float64) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for j := 0; j < n; j++ {
+		t.Append(j, j, 4+in.rng.Float64())
+		for i := 0; i < n; i++ {
+			if i != j && in.rng.Float64() < density {
+				t.Append(i, j, 0.5*in.rng.NormFloat64())
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+// NearSingular embeds a nearly decoupled unknown in a well-conditioned
+// host: row and column k (= 1) carry only the diagonal gamma and
+// couplings of the same magnitude to the neighbors, so σ_min(A) ~ gamma
+// while ‖A‖ stays O(1). Factored without pivoting, column k's pivot is
+// exactly gamma; with gamma far below sqrt(eps)·‖A‖ the static-pivot
+// replacement fires and the perturbed matrix Ā has a singular value at
+// the replacement threshold t, making cond(Ā) ~ 1/t ~ 10⁷ and the
+// refinement contraction factor ‖Ā⁻¹(Ā−A)‖ ≈ 1 − gamma/t ≈ 1: rung 0
+// stalls, patient refinement crawls, and only SMW recovery of the true
+// system (or stronger) reaches sqrt(eps) backward error.
+func (in *Injector) NearSingular(n int, gamma float64) *sparse.CSC {
+	const k = 1
+	host := in.WellConditioned(n, 0.15)
+	t := sparse.NewTriplet(n, n)
+	for j := 0; j < host.Cols; j++ {
+		for p := host.ColPtr[j]; p < host.ColPtr[j+1]; p++ {
+			i := host.RowInd[p]
+			if i == k || j == k {
+				continue
+			}
+			t.Append(i, j, host.Val[p])
+		}
+	}
+	t.Append(k, k, gamma)
+	t.Append(k+1, k, gamma) // keep row/col k coupled, at the same tiny scale
+	t.Append(k, k+1, gamma)
+	return t.ToCSC()
+}
+
+// IllConditioned returns an n×n upper-bidiagonal-plus-diagonal matrix
+// whose diagonal ramps geometrically from 1 down to 1/cond, giving a
+// condition number of order cond with no tiny-pivot replacement (every
+// pivot equals its diagonal, and the smallest stays above the threshold
+// for cond ≲ 1/sqrt(eps)).
+func (in *Injector) IllConditioned(n int, cond float64) *sparse.CSC {
+	t := sparse.NewTriplet(n, n)
+	for j := 0; j < n; j++ {
+		d := math.Pow(cond, -float64(j)/float64(max(n-1, 1)))
+		t.Append(j, j, d)
+		if j+1 < n {
+			t.Append(j, j+1, 0.5*d*in.rng.Float64())
+		}
+	}
+	return t.ToCSC()
+}
+
+// PerturbValues returns a copy of a with every stored value scaled by
+// (1 + rel·g), g standard normal — the same sparsity pattern
+// (sparse.PatternHash-identical) with adversarially moved values. Small
+// rel models benign value drift under a cached analysis; rel ≳ 1 makes
+// stale factors useless as a refinement solver (contraction > 1) while
+// still serviceable as a Krylov preconditioner.
+func (in *Injector) PerturbValues(a *sparse.CSC, rel float64) *sparse.CSC {
+	b := a.Clone()
+	for i := range b.Val {
+		b.Val[i] *= 1 + rel*in.rng.NormFloat64()
+	}
+	return b
+}
+
+// PoisonRHS overwrites count entries of b at injector-chosen positions:
+// NaN when nan is true, +Inf otherwise. It returns the poisoned indices.
+func (in *Injector) PoisonRHS(b []float64, count int, nan bool) []int {
+	v := math.Inf(1)
+	if nan {
+		v = math.NaN()
+	}
+	idx := in.rng.Perm(len(b))[:min(count, len(b))]
+	for _, i := range idx {
+		b[i] = v
+	}
+	return idx
+}
+
+// CorruptFactors overwrites count stored L values (and one U value, so
+// both triangles are hit) with NaN — the in-memory factor-cache
+// corruption fault. The factors' fingerprint necessarily changes; the
+// count actually flipped is returned.
+func (in *Injector) CorruptFactors(f *lu.Factors, count int) int {
+	flipped := 0
+	if len(f.LVal) > 0 {
+		for _, i := range in.rng.Perm(len(f.LVal)) {
+			if flipped >= count {
+				break
+			}
+			f.LVal[i] = math.NaN()
+			flipped++
+		}
+	}
+	if len(f.UVal) > 0 && flipped < count+1 {
+		f.UVal[in.rng.Intn(len(f.UVal))] = math.NaN()
+		flipped++
+	}
+	return flipped
+}

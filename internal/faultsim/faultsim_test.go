@@ -1,0 +1,144 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"gesp/internal/lu"
+	"gesp/internal/sparse"
+	"gesp/internal/symbolic"
+)
+
+func TestInjectorIsDeterministic(t *testing.T) {
+	a := New(42).NearSingular(30, 1e-10)
+	b := New(42).NearSingular(30, 1e-10)
+	if sparse.PatternHash(a) != sparse.PatternHash(b) {
+		t.Fatal("same seed produced different patterns")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatalf("same seed produced different values at %d: %g vs %g", k, a.Val[k], b.Val[k])
+		}
+	}
+	c := New(43).NearSingular(30, 1e-10)
+	same := sparse.PatternHash(a) == sparse.PatternHash(c)
+	if same {
+		for k := range a.Val {
+			if a.Val[k] != c.Val[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestWellConditionedFactorsCleanly(t *testing.T) {
+	a := New(1).WellConditioned(50, 0.1)
+	sym, err := symbolic.Factorize(a, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lu.Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TinyPivots != 0 {
+		t.Errorf("well-conditioned base needed %d pivot replacements, want 0", f.TinyPivots)
+	}
+}
+
+func TestNearSingularDefeatsStaticPivoting(t *testing.T) {
+	// The engineered pivot must fall below the replacement threshold, so
+	// the factorization records at least one modification.
+	a := New(7).NearSingular(40, 1e-10)
+	sym, err := symbolic.Factorize(a, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lu.Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TinyPivots == 0 {
+		t.Fatal("NearSingular factored without pivot replacement; the fault is not firing")
+	}
+	if len(f.PivotMods) == 0 {
+		t.Fatal("pivot replacement recorded no PivotMods")
+	}
+}
+
+func TestPerturbValuesPreservesPattern(t *testing.T) {
+	in := New(3)
+	a := in.WellConditioned(30, 0.2)
+	p := in.PerturbValues(a, 0.5)
+	if sparse.PatternHash(a) != sparse.PatternHash(p) {
+		t.Fatal("perturbation changed the sparsity pattern")
+	}
+	changed := 0
+	for k := range a.Val {
+		if a.Val[k] != p.Val[k] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("perturbation changed no values")
+	}
+	for k := range a.Val {
+		if a.Val[k] != p.Val[k] && a.Val[k] == 0 {
+			t.Fatal("perturbation invented a value on a structural zero")
+		}
+	}
+}
+
+func TestPoisonRHS(t *testing.T) {
+	b := make([]float64, 20)
+	idx := New(5).PoisonRHS(b, 3, true)
+	if len(idx) != 3 {
+		t.Fatalf("poisoned %d entries, want 3", len(idx))
+	}
+	nans := 0
+	for _, v := range b {
+		if math.IsNaN(v) {
+			nans++
+		}
+	}
+	if nans != 3 {
+		t.Fatalf("found %d NaNs, want 3", nans)
+	}
+	b2 := make([]float64, 20)
+	New(5).PoisonRHS(b2, 2, false)
+	infs := 0
+	for _, v := range b2 {
+		if math.IsInf(v, 0) {
+			infs++
+		}
+	}
+	if infs != 2 {
+		t.Fatalf("found %d Infs, want 2", infs)
+	}
+}
+
+func TestCorruptFactorsChangesFingerprint(t *testing.T) {
+	a := New(9).WellConditioned(40, 0.1)
+	sym, _ := symbolic.Factorize(a, symbolic.Options{})
+	f, err := lu.Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.Fingerprint()
+	if f.NonFinite() {
+		t.Fatal("factors non-finite before corruption")
+	}
+	if n := New(9).CorruptFactors(f, 3); n == 0 {
+		t.Fatal("corruption flipped no values")
+	}
+	if f.Fingerprint() == before {
+		t.Fatal("fingerprint unchanged by corruption")
+	}
+	if !f.NonFinite() {
+		t.Fatal("NonFinite missed the injected NaNs")
+	}
+}

@@ -14,6 +14,11 @@ type Options struct {
 	MaxIter int
 	// Restart is GMRES's restart length m; 0 means 50.
 	Restart int
+	// Cancel, when non-nil, is polled once per iteration; returning true
+	// stops the solve with the current iterate and Canceled set. The
+	// resilience ladder and the serve layer wire context deadlines
+	// through it so a runaway Krylov solve cannot outlive its request.
+	Cancel func() bool
 }
 
 // Stats reports an iterative solve.
@@ -21,6 +26,8 @@ type Stats struct {
 	Iterations int
 	Residual   float64 // final relative residual
 	Converged  bool
+	// Canceled reports the solve was stopped by Options.Cancel.
+	Canceled bool
 }
 
 func (o Options) fill() Options {
@@ -81,6 +88,16 @@ func GMRES(a *sparse.CSC, m Preconditioner, x, b []float64, opts Options) ([]flo
 			st.Converged = true
 			return x, st
 		}
+		if math.IsNaN(st.Residual) || math.IsInf(st.Residual, 0) {
+			// A poisoned operator or preconditioner (NaN/Inf factors)
+			// contaminates every further iterate; bail immediately
+			// instead of spinning to MaxIter on garbage.
+			return x, st
+		}
+		if opts.Cancel != nil && opts.Cancel() {
+			st.Canceled = true
+			return x, st
+		}
 		for i := range g {
 			g[i] = 0
 		}
@@ -90,6 +107,10 @@ func GMRES(a *sparse.CSC, m Preconditioner, x, b []float64, opts Options) ([]flo
 		}
 		k := 0
 		for ; k < restart && st.Iterations < opts.MaxIter; k++ {
+			if opts.Cancel != nil && opts.Cancel() {
+				st.Canceled = true
+				break
+			}
 			st.Iterations++
 			// w = M⁻¹·A·v_k
 			a.MatVec(w, v[k])
@@ -146,6 +167,9 @@ func GMRES(a *sparse.CSC, m Preconditioner, x, b []float64, opts Options) ([]flo
 				x[q] += y[i] * v[i][q]
 			}
 		}
+		if st.Canceled {
+			return x, st
+		}
 		if st.Residual <= opts.Tol {
 			// Recompute the true residual to confirm.
 			a.Residual(r, b, x)
@@ -186,6 +210,13 @@ func BiCGSTAB(a *sparse.CSC, m Preconditioner, x, b []float64, opts Options) ([]
 	t := make([]float64, n)
 
 	for st.Iterations < opts.MaxIter {
+		if math.IsNaN(st.Residual) || math.IsInf(st.Residual, 0) {
+			return x, st
+		}
+		if opts.Cancel != nil && opts.Cancel() {
+			st.Canceled = true
+			return x, st
+		}
 		st.Iterations++
 		rhoNew := dot(rhat, r)
 		if rhoNew == 0 {

@@ -165,3 +165,79 @@ func TestSolversHandleZeroRHS(t *testing.T) {
 		t.Error("BiCGSTAB on zero rhs did not converge instantly")
 	}
 }
+
+func TestGMRESCancelStopsTheSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := laplacian2D(8)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	polls := 0
+	_, st := GMRES(a, Identity{}, x, b, Options{
+		Tol:     1e-14,
+		MaxIter: 1000,
+		Cancel:  func() bool { polls++; return polls > 3 },
+	})
+	if !st.Canceled {
+		t.Fatal("Canceled not set after Cancel returned true")
+	}
+	if st.Converged {
+		t.Fatal("canceled solve claims convergence")
+	}
+	if st.Iterations > 10 {
+		t.Fatalf("solve ran %d iterations after cancellation", st.Iterations)
+	}
+}
+
+func TestBiCGSTABCancelStopsTheSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := laplacian2D(8)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	_, st := BiCGSTAB(a, Identity{}, x, b, Options{
+		Tol:     1e-14,
+		MaxIter: 1000,
+		Cancel:  func() bool { return true },
+	})
+	if !st.Canceled {
+		t.Fatal("Canceled not set after Cancel returned true")
+	}
+	if st.Iterations != 0 {
+		t.Fatalf("solve ran %d iterations after immediate cancellation", st.Iterations)
+	}
+}
+
+// nanPreconditioner poisons every vector it touches — the stand-in for
+// NaN-corrupted LU factors used as a preconditioner.
+type nanPreconditioner struct{}
+
+func (nanPreconditioner) Apply(x []float64) {
+	for i := range x {
+		x[i] = math.NaN()
+	}
+}
+
+func TestIterativeSolversBailOnNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := laplacian2D(6)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	_, st := GMRES(a, nanPreconditioner{}, x, b, Options{MaxIter: 1000})
+	if st.Converged {
+		t.Fatal("GMRES claims convergence through a NaN preconditioner")
+	}
+	if st.Iterations > 2 {
+		t.Fatalf("GMRES spun %d iterations on NaN garbage instead of bailing", st.Iterations)
+	}
+}

@@ -163,7 +163,7 @@ func (f *Factors) pick(col int, piv, cmax, thresh float64, opts Options) (float6
 	}
 	if !opts.ReplaceTinyPivot {
 		if piv == 0 {
-			return 0, fmt.Errorf("lu: column %d: %w", col, ErrZeroPivot)
+			return 0, &ZeroPivotError{Col: col, Threshold: thresh}
 		}
 		return piv, nil
 	}

@@ -1,0 +1,56 @@
+package lu
+
+import "math"
+
+// fingerprint-worthy state: the numeric factor values. The symbolic
+// structure is covered separately by sparse.PatternHash; fingerprinting
+// only LVal/UVal keeps the check O(nnz(L+U)) with no allocation, cheap
+// enough to run per solve when Policy.VerifyFactors is on.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Fingerprint returns an FNV-1a hash over the bit patterns of the
+// numeric factor values. The resilience ladder records it at
+// factorization time and compares before solves to detect in-memory
+// factor corruption (the serving layer's value-hash-mismatch fault):
+// any flipped bit — including a value overwritten with NaN, whose bit
+// pattern hashes like any other — changes the fingerprint.
+func (f *Factors) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range f.LVal {
+		h = fnvMix(h, math.Float64bits(v))
+	}
+	for _, v := range f.UVal {
+		h = fnvMix(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// NonFinite reports whether any stored factor value is NaN or ±Inf —
+// factors that cannot produce a finite solve and disqualify every
+// ladder rung that reuses them.
+func (f *Factors) NonFinite() bool {
+	for _, v := range f.LVal {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	for _, v := range f.UVal {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

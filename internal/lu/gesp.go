@@ -23,7 +23,27 @@ const Eps = 2.220446049250313e-16
 // ErrZeroPivot is returned when elimination meets an exactly zero pivot
 // and tiny-pivot replacement is disabled — the failure mode of plain
 // no-pivoting Gaussian elimination on 27 of the paper's 53 matrices.
+// Concrete failures are *ZeroPivotError values, which carry the column
+// where elimination broke; errors.Is(err, ErrZeroPivot) matches them.
 var ErrZeroPivot = errors.New("lu: zero pivot encountered (tiny-pivot replacement disabled)")
+
+// ZeroPivotError reports where static pivoting broke: the column whose
+// pivot was exactly zero and the replacement threshold that was in
+// force (sqrt(eps)·||A|| unless overridden). The resilience ladder and
+// diagnostics use the column to report the failure site; errors.As
+// extracts it, errors.Is(err, ErrZeroPivot) still matches.
+type ZeroPivotError struct {
+	Col       int
+	Threshold float64
+}
+
+func (e *ZeroPivotError) Error() string {
+	return fmt.Sprintf("lu: column %d: zero pivot encountered (tiny-pivot replacement disabled, threshold %.6e)", e.Col, e.Threshold)
+}
+
+// Is makes errors.Is(err, ErrZeroPivot) succeed for typed zero-pivot
+// failures, preserving the sentinel contract existing callers rely on.
+func (e *ZeroPivotError) Is(target error) bool { return target == ErrZeroPivot }
 
 // Options control the static factorization.
 type Options struct {
@@ -113,7 +133,7 @@ func Factorize(a *sparse.CSC, sym *symbolic.Result, opts Options) (*Factors, err
 		if math.Abs(piv) < thresh {
 			if !opts.ReplaceTinyPivot {
 				if piv == 0 {
-					return nil, fmt.Errorf("lu: column %d: %w", j, ErrZeroPivot)
+					return nil, &ZeroPivotError{Col: j, Threshold: thresh}
 				}
 			} else {
 				repl := thresh

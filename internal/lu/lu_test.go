@@ -315,3 +315,35 @@ func TestFactorizeDimensionMismatch(t *testing.T) {
 		t.Error("dimension mismatch accepted")
 	}
 }
+
+func TestZeroPivotErrorCarriesColumnAndThreshold(t *testing.T) {
+	// The structurally fine but numerically zero pivot sits in column 0;
+	// the typed error must name it and the threshold in force, while
+	// errors.Is keeps matching the historical sentinel.
+	a := sparse.FromDense([][]float64{
+		{0, 1, 0},
+		{1, 0, 0},
+		{0, 0, 1},
+	})
+	sym, err := symbolic.Factorize(a, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Factorize(a, sym, Options{})
+	if err == nil {
+		t.Fatal("zero pivot accepted without replacement")
+	}
+	var zp *ZeroPivotError
+	if !errors.As(err, &zp) {
+		t.Fatalf("error %T is not a *ZeroPivotError: %v", err, err)
+	}
+	if zp.Col != 0 {
+		t.Errorf("Col = %d, want 0", zp.Col)
+	}
+	if want := math.Sqrt(Eps) * a.Norm1(); zp.Threshold != want {
+		t.Errorf("Threshold = %g, want %g", zp.Threshold, want)
+	}
+	if !errors.Is(err, ErrZeroPivot) {
+		t.Error("typed error no longer matches the ErrZeroPivot sentinel")
+	}
+}

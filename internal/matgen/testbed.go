@@ -27,7 +27,8 @@ type Matrix struct {
 // the RNG is seeded from the matrix name.
 func (m Matrix) Generate(scale float64) *sparse.CSC {
 	h := fnv.New64a()
-	h.Write([]byte(m.Name))
+	// hash.Hash.Write never returns an error by documented contract.
+	h.Write([]byte(m.Name)) //gesp:errok
 	rng := rand.New(rand.NewSource(int64(h.Sum64())))
 	a := m.gen(scale, rng)
 	return EnsureFullRank(a, rng)

@@ -10,15 +10,18 @@ import (
 // InvNormEst1 estimates ||M⁻¹||₁ with Hager's algorithm (the core of
 // LAPACK's xLACON), using only solves with M and Mᵀ. The estimate is a
 // lower bound that is almost always within a small factor of the truth.
-func InvNormEst1(sys System, n int) float64 {
+// The second result reports whether the power iteration reached its
+// fixed point (z_max ≤ zᵀx) within the iteration budget; a false means
+// the estimate is still a valid lower bound but may be further from the
+// truth than usual, which core.CondEst surfaces in its Stats.
+func InvNormEst1(sys System, n int) (est float64, converged bool) {
 	if n == 0 {
-		return 0
+		return 0, true
 	}
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = 1 / float64(n)
 	}
-	est := 0.0
 	for iter := 0; iter < 5; iter++ {
 		y := append([]float64(nil), x...)
 		sys.Solve(y)
@@ -44,6 +47,7 @@ func InvNormEst1(sys System, n int) float64 {
 			ztx += y[i] * x[i]
 		}
 		if zmax <= ztx {
+			converged = true
 			break
 		}
 		for i := range x {
@@ -59,13 +63,15 @@ func InvNormEst1(sys System, n int) float64 {
 	if alt := 2 * sparse.VecNorm1(x) / (3 * float64(n)); alt > est {
 		est = alt
 	}
-	return est
+	return est, converged
 }
 
 // Cond1Est estimates the 1-norm condition number κ₁(A) = ||A||₁·||A⁻¹||₁
-// using the factorization in sys.
-func Cond1Est(a *sparse.CSC, sys System) float64 {
-	return a.Norm1() * InvNormEst1(sys, a.Rows)
+// using the factorization in sys. The second result is InvNormEst1's
+// convergence flag.
+func Cond1Est(a *sparse.CSC, sys System) (float64, bool) {
+	inv, ok := InvNormEst1(sys, a.Rows)
+	return a.Norm1() * inv, ok
 }
 
 // ForwardErrorBound computes the componentwise forward error bound of
@@ -96,7 +102,7 @@ func ForwardErrorBound(a *sparse.CSC, sys System, x, b []float64) float64 {
 	// Estimate ||A⁻¹·diag(w)||_∞ = ||diag(w)·A⁻ᵀ||₁ with Hager's method
 	// applied to the operator N = diag(w)·A⁻ᵀ, as xGERFS does.
 	weighted := &weightedSystem{sys: sys, w: w}
-	est := InvNormEst1(weighted, n)
+	est, _ := InvNormEst1(weighted, n) // a non-converged estimate is still a valid bound here
 	nx := sparse.VecNormInf(x)
 	if nx == 0 {
 		return est

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -37,9 +38,11 @@ type batcher struct {
 }
 
 // solveBackend is what the batcher needs from core.Solver; an interface
-// so batcher tests can fake pathological backends.
+// so batcher tests can fake pathological backends. The per-vector error
+// slice (nil when all vectors succeeded) lets one poisoned right-hand
+// side fail alone instead of taking its batch-mates down.
 type solveBackend interface {
-	SolveBatch(bs [][]float64) ([][]float64, error)
+	SolveBatchCtx(ctx context.Context, bs [][]float64) ([][]float64, []error, error)
 }
 
 type solveReq struct {
@@ -65,9 +68,13 @@ func newBatcher(solver solveBackend, maxBatch int, maxDelay time.Duration, queue
 }
 
 // submit enqueues one right-hand side and blocks until its batch has
-// been solved. It returns ErrOverloaded without blocking when the queue
-// is full.
-func (b *batcher) submit(rhs []float64) ([]float64, error) {
+// been solved or ctx expires. It returns ErrOverloaded without blocking
+// when the queue is full. On ctx expiry the caller stops waiting but the
+// request stays queued and is still solved with its batch (the done
+// channel is buffered, so the cutter never blocks on an abandoned
+// waiter); the ladder's per-rung deadline is what bounds the solve work
+// itself.
+func (b *batcher) submit(ctx context.Context, rhs []float64) ([]float64, error) {
 	req := solveReq{b: rhs, enq: time.Now(), done: make(chan solveDone, 1)}
 	b.mu.Lock()
 	if len(b.queue) >= b.queueCap {
@@ -92,8 +99,12 @@ func (b *batcher) submit(rhs []float64) ([]float64, error) {
 		default:
 		}
 	}
-	d := <-req.done
-	return d.x, d.err
+	select {
+	case d := <-req.done:
+		return d.x, d.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // run is the cutter loop: cut a batch, solve it, repeat until the queue
@@ -150,13 +161,16 @@ func (b *batcher) exec(batch []solveReq) {
 	for i := range batch {
 		b.m.observePhase(PhaseQueue, t0.Sub(batch[i].enq))
 	}
-	xs, err := b.solver.SolveBatch(bs)
+	xs, errs, err := b.solver.SolveBatchCtx(context.Background(), bs)
 	b.m.observePhase(PhaseSolve, time.Since(t0))
 	b.m.observeBatch(len(batch))
 	for i := range batch {
-		if err != nil {
+		switch {
+		case err != nil:
 			batch[i].done <- solveDone{err: err}
-		} else {
+		case errs != nil && errs[i] != nil:
+			batch[i].done <- solveDone{err: errs[i]}
+		default:
 			batch[i].done <- solveDone{x: xs[i]}
 		}
 	}

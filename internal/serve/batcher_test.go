@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -18,7 +19,7 @@ type fakeBackend struct {
 	err     error
 }
 
-func (f *fakeBackend) SolveBatch(bs [][]float64) ([][]float64, error) {
+func (f *fakeBackend) SolveBatchCtx(_ context.Context, bs [][]float64) ([][]float64, []error, error) {
 	f.mu.Lock()
 	f.batches = append(f.batches, len(bs))
 	gate, entered := f.gate, f.entered
@@ -29,13 +30,13 @@ func (f *fakeBackend) SolveBatch(bs [][]float64) ([][]float64, error) {
 		<-gate
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	xs := make([][]float64, len(bs))
 	for i, b := range bs {
 		xs[i] = append([]float64(nil), b...)
 	}
-	return xs, nil
+	return xs, nil, nil
 }
 
 // release opens the gate and stops further batches from signalling, so
@@ -64,7 +65,7 @@ func TestBatcherCoalesces(t *testing.T) {
 
 	results := make(chan float64, 8)
 	submit := func(tag float64) {
-		x, err := bat.submit([]float64{tag})
+		x, err := bat.submit(context.Background(), []float64{tag})
 		if err != nil {
 			t.Errorf("submit %v: %v", tag, err)
 			return
@@ -116,12 +117,12 @@ func TestBatcherSheds(t *testing.T) {
 
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); bat.submit([]float64{0}) }()
+	go func() { defer wg.Done(); bat.submit(context.Background(), []float64{0}) }()
 	<-fb.entered // solver blocked on batch [0]
 
 	for i := 0; i < cap; i++ {
 		wg.Add(1)
-		go func(tag float64) { defer wg.Done(); bat.submit([]float64{tag}) }(float64(i + 1))
+		go func(tag float64) { defer wg.Done(); bat.submit(context.Background(), []float64{tag}) }(float64(i + 1))
 	}
 	for deadline := time.Now().Add(5 * time.Second); m.queueDepth.Load() < cap; {
 		if time.Now().After(deadline) {
@@ -132,7 +133,7 @@ func TestBatcherSheds(t *testing.T) {
 
 	// Queue is at capacity: the next request must shed, not block.
 	start := time.Now()
-	_, err := bat.submit([]float64{99})
+	_, err := bat.submit(context.Background(), []float64{99})
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("got %v, want ErrOverloaded", err)
 	}
@@ -164,7 +165,7 @@ func TestBatcherPropagatesError(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := bat.submit([]float64{1})
+			_, err := bat.submit(context.Background(), []float64{1})
 			errs <- err
 		}()
 	}
@@ -189,7 +190,7 @@ func TestBatcherZeroDelay(t *testing.T) {
 	fb := &fakeBackend{}
 	bat := newBatcher(fb, 8, 0, 64, &m)
 	for i := 0; i < 4; i++ {
-		if _, err := bat.submit([]float64{float64(i)}); err != nil {
+		if _, err := bat.submit(context.Background(), []float64{float64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}

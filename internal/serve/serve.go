@@ -18,12 +18,16 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
 	"gesp/internal/core"
+	"gesp/internal/krylov"
+	"gesp/internal/resilience"
 	"gesp/internal/sparse"
 )
 
@@ -64,6 +68,22 @@ type Config struct {
 	MaxFactorBytes int64
 	// MaxSymbolic bounds the symbolic (pattern) cache entry count.
 	MaxSymbolic int
+	// SolveTimeout is the per-request deadline applied to every Solve
+	// when the caller's context carries none; 0 means no deadline. A
+	// request past its deadline returns context.DeadlineExceeded (and is
+	// counted in Stats.DeadlineMisses); combine with a resilience
+	// policy's RungDeadline to also bound the work itself.
+	SolveTimeout time.Duration
+	// DegradeOnOverload turns a full solve queue into a degraded
+	// iterative-only solve (GMRES preconditioned by the cached factors,
+	// the ladder's rung-3 machinery) on the caller's goroutine instead
+	// of returning ErrOverloaded: under overload the service sheds
+	// direct-solve THROUGHPUT, not requests. Degraded solves are counted
+	// in Stats.Degraded.
+	DegradeOnOverload bool
+	// Degraded tunes the degraded path's GMRES; zero fields take
+	// krylov's defaults.
+	Degraded krylov.Options
 }
 
 // DefaultConfig returns the serving defaults: the paper's recommended
@@ -143,7 +163,22 @@ type Service struct {
 // recommended pipeline).
 func New(cfg Config) *Service {
 	cfg.fillDefaults()
-	s := &Service{cfg: cfg}
+	s := &Service{}
+	if cfg.Options.Resilience != nil {
+		// Clone the policy and chain its trace hook through the service
+		// metrics, so every cached solver built from these options feeds
+		// the rung histogram; the caller's own hook still fires.
+		pol := *cfg.Options.Resilience
+		user := pol.OnTrace
+		pol.OnTrace = func(e *resilience.Escalation) {
+			s.m.observeEscalation(e)
+			if user != nil {
+				user(e)
+			}
+		}
+		cfg.Options.Resilience = &pol
+	}
+	s.cfg = cfg
 	s.c = newCache(cfg.MaxSymbolic, cfg.MaxFactors, cfg.MaxFactorBytes, &s.m)
 	return s
 }
@@ -228,20 +263,67 @@ func (s *Service) symbolicFor(pattern uint64, a *sparse.CSC) (*core.Solver, erro
 // Solve solves A·x = b against the handle's cached factorization,
 // coalescing with concurrent solves of the same system into one batched
 // triangular sweep. It blocks until the solution is ready; overload and
-// eviction surface as ErrOverloaded and ErrHandleExpired.
+// eviction surface as ErrOverloaded and ErrHandleExpired (or a degraded
+// iterative solve, per Config.DegradeOnOverload).
 func (s *Service) Solve(h Handle, b []float64) ([]float64, error) {
+	return s.SolveCtx(context.Background(), h, b)
+}
+
+// SolveCtx is Solve under a context: the caller's cancellation and
+// deadline (tightened by Config.SolveTimeout) bound how long the request
+// waits — a request whose context expires returns immediately with
+// ctx.Err() while its batch slot completes and is discarded. Poisoned
+// right-hand sides (NaN/Inf) fail fast before ever queueing.
+func (s *Service) SolveCtx(ctx context.Context, h Handle, b []float64) ([]float64, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	if len(b) != h.N {
 		return nil, fmt.Errorf("serve: right-hand side length %d, want %d", len(b), h.N)
 	}
+	for _, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// Reject before queueing: no rung can launder a poisoned
+			// input, and failing here keeps the batch clean.
+			return nil, fmt.Errorf("serve: %w", resilience.ErrNonFiniteRHS)
+		}
+	}
 	e := s.c.lookupFactor(h.Key)
 	if e == nil {
 		s.m.expired.Add(1)
 		return nil, ErrHandleExpired
 	}
-	return e.bat.submit(b)
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	x, err := e.bat.submit(ctx, b)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.deadlineMiss.Add(1)
+	case errors.Is(err, ErrOverloaded) && s.cfg.DegradeOnOverload:
+		return s.solveDegraded(ctx, e, b)
+	}
+	return x, err
+}
+
+// solveDegraded is the overload relief valve: instead of rejecting, run
+// a deadline-bounded GMRES solve preconditioned by the cached factors —
+// the resilience ladder's iterative rung — on the caller's goroutine.
+// core.Solver.SolveIterative is safe alongside the batcher's direct
+// solves, so degraded traffic adds no queueing and touches no shared
+// scratch.
+func (s *Service) solveDegraded(ctx context.Context, e *facEntry, b []float64) ([]float64, error) {
+	t0 := time.Now()
+	s.m.degraded.Add(1)
+	x, _, err := e.solver.SolveIterative(ctx, b, s.cfg.Degraded)
+	s.m.observePhase(PhaseDegraded, time.Since(t0))
+	if err != nil && ctx.Err() != nil {
+		s.m.deadlineMiss.Add(1)
+		return nil, ctx.Err()
+	}
+	return x, err
 }
 
 // Stats snapshots the service counters.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"gesp/internal/resilience"
 )
 
 // Phase indexes the per-phase latency accounting. The phases partition a
@@ -25,10 +27,13 @@ const (
 	// PhaseSolve is the batched triangular sweep plus pack/unpack,
 	// charged per batch.
 	PhaseSolve
+	// PhaseDegraded is an overload-shed iterative solve (Config.
+	// DegradeOnOverload), charged per request.
+	PhaseDegraded
 	numPhases
 )
 
-var phaseNames = [numPhases]string{"analyze", "factor", "queue", "solve"}
+var phaseNames = [numPhases]string{"analyze", "factor", "queue", "solve", "degraded"}
 
 // String returns the phase's snake-case name.
 func (p Phase) String() string { return phaseNames[p] }
@@ -57,6 +62,16 @@ type Metrics struct {
 	shed    atomic.Uint64
 	expired atomic.Uint64
 
+	// Resilience accounting: which rung each ladder-driven solve ended
+	// on, how many climbed, the cumulative above-rung-0 latency, and the
+	// degradation/deadline counters of the serving layer itself.
+	rungHist     [resilience.NumRungs]atomic.Uint64
+	escalations  atomic.Uint64
+	unrecovered  atomic.Uint64
+	fallbackNs   atomic.Int64
+	degraded     atomic.Uint64
+	deadlineMiss atomic.Uint64
+
 	queueDepth atomic.Int64
 
 	batchHist [len(batchBuckets) + 1]atomic.Uint64
@@ -69,6 +84,22 @@ type Metrics struct {
 func (m *Metrics) observePhase(p Phase, d time.Duration) {
 	m.phaseNs[p].Add(d.Nanoseconds())
 	m.phaseCount[p].Add(1)
+}
+
+// observeEscalation folds one ladder trace into the rung histogram and
+// fallback-latency accounting; it is the OnTrace hook Service.New chains
+// into the resilience policy.
+func (m *Metrics) observeEscalation(e *resilience.Escalation) {
+	if r := e.FinalRung; r >= 0 && int(r) < len(m.rungHist) {
+		m.rungHist[r].Add(1)
+	}
+	if e.Escalated() {
+		m.escalations.Add(1)
+		m.fallbackNs.Add(int64(e.FallbackCost()))
+	}
+	if !e.Converged {
+		m.unrecovered.Add(1)
+	}
 }
 
 // observeBatch records one cut batch of k solves.
@@ -115,6 +146,21 @@ type Stats struct {
 	LoadShed uint64 `json:"load_shed"`
 	Expired  uint64 `json:"expired"`
 
+	// Resilience accounting (all zero unless the service runs with a
+	// resilience policy). RungHist[r] counts ladder solves that ENDED on
+	// rung r (RungNames gives the labels); Escalations counts solves
+	// that climbed above rung 0; Unrecovered counts ladder exhaustions;
+	// FallbackNs is the cumulative wall-clock spent above rung 0.
+	// Degraded counts overload-shed iterative solves and DeadlineMisses
+	// counts requests that outran their deadline.
+	RungNames      []string `json:"rung_names,omitempty"`
+	RungHist       []uint64 `json:"rung_hist,omitempty"`
+	Escalations    uint64   `json:"escalations"`
+	Unrecovered    uint64   `json:"unrecovered"`
+	FallbackNs     int64    `json:"fallback_ns"`
+	Degraded       uint64   `json:"degraded"`
+	DeadlineMisses uint64   `json:"deadline_misses"`
+
 	// QueueDepth is the instantaneous number of queued, not-yet-batched
 	// solve requests across all factors.
 	QueueDepth int64 `json:"queue_depth"`
@@ -147,6 +193,11 @@ func (m *Metrics) snapshot() Stats {
 		Batches:           m.batches.Load(),
 		LoadShed:          m.shed.Load(),
 		Expired:           m.expired.Load(),
+		Escalations:       m.escalations.Load(),
+		Unrecovered:       m.unrecovered.Load(),
+		FallbackNs:        m.fallbackNs.Load(),
+		Degraded:          m.degraded.Load(),
+		DeadlineMisses:    m.deadlineMiss.Load(),
 		QueueDepth:        m.queueDepth.Load(),
 		BatchBuckets:      append([]int(nil), batchBuckets[:]...),
 		BatchSizes:        make([]uint64, len(batchBuckets)+1),
@@ -154,6 +205,17 @@ func (m *Metrics) snapshot() Stats {
 	}
 	for i := range m.batchHist {
 		s.BatchSizes[i] = m.batchHist[i].Load()
+	}
+	var rungTotal uint64
+	hist := make([]uint64, resilience.NumRungs)
+	names := make([]string, resilience.NumRungs)
+	for r := range hist {
+		hist[r] = m.rungHist[r].Load()
+		names[r] = resilience.Rung(r).String()
+		rungTotal += hist[r]
+	}
+	if rungTotal > 0 {
+		s.RungHist, s.RungNames = hist, names
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		ps := PhaseStat{Count: m.phaseCount[p].Load(), TotalNs: m.phaseNs[p].Load()}
@@ -185,6 +247,17 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "factor cache:   %d/%d hits (%.1f%%), %d entries, %d bytes, %d evicted\n",
 		s.FactorHits, s.FactorHits+s.FactorMisses,
 		100*HitRate(s.FactorHits, s.FactorMisses), s.FactorEntries, s.FactorBytes, s.FactorEvictions)
+	if len(s.RungHist) > 0 || s.Escalations > 0 || s.Degraded > 0 || s.DeadlineMisses > 0 {
+		fmt.Fprintf(&b, "resilience: escalations %d  unrecovered %d  fallback %v  degraded %d  deadline-miss %d\n",
+			s.Escalations, s.Unrecovered, time.Duration(s.FallbackNs), s.Degraded, s.DeadlineMisses)
+		if len(s.RungHist) > 0 {
+			b.WriteString("rung histogram:")
+			for r, c := range s.RungHist {
+				fmt.Fprintf(&b, "  %s:%d", s.RungNames[r], c)
+			}
+			b.WriteString("\n")
+		}
+	}
 	fmt.Fprintf(&b, "queue depth %d; batch sizes", s.QueueDepth)
 	for i, ub := range s.BatchBuckets {
 		fmt.Fprintf(&b, "  ≤%d:%d", ub, s.BatchSizes[i])

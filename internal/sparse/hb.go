@@ -121,7 +121,8 @@ func ReadHarwellBoeing(rd io.Reader) (*CSC, error) {
 	}
 	rhscrd := 0
 	if len(cf) >= 5 {
-		rhscrd, _ = strconv.Atoi(cf[4])
+		// Optional fifth field; absent or malformed means no RHS cards.
+		rhscrd, _ = strconv.Atoi(cf[4]) //gesp:errok
 	}
 	typeLine, err := readLine()
 	if err != nil {
@@ -258,7 +259,11 @@ func splitHBFormats(line string) (ptr, ind, val string, err error) {
 }
 
 // WriteHarwellBoeing writes a in Harwell–Boeing RUA format with the given
-// title and key (both trimmed/padded to the fixed header fields).
+// title and key (both trimmed/padded to the fixed header fields). The
+// per-card write errors are deliberately unchecked: bufio.Writer is
+// error-sticky, so the first failure is what the final Flush returns.
+//
+//gesp:errok
 func WriteHarwellBoeing(w io.Writer, a *CSC, title, key string) error {
 	bw := bufio.NewWriter(w)
 	nnz := a.Nnz()

@@ -50,7 +50,23 @@ func DefaultOptions() Options {
 }
 
 // ErrZeroPivot mirrors lu.ErrZeroPivot for the complex factorization.
+// Concrete failures are *ZeroPivotError values carrying the breaking
+// column; errors.Is(err, ErrZeroPivot) matches them.
 var ErrZeroPivot = errors.New("zsolver: zero pivot encountered (tiny-pivot replacement disabled)")
+
+// ZeroPivotError mirrors lu.ZeroPivotError: the column whose pivot was
+// exactly zero and the replacement threshold in force.
+type ZeroPivotError struct {
+	Col       int
+	Threshold float64
+}
+
+func (e *ZeroPivotError) Error() string {
+	return fmt.Sprintf("zsolver: column %d: zero pivot encountered (tiny-pivot replacement disabled, threshold %.6e)", e.Col, e.Threshold)
+}
+
+// Is preserves the sentinel contract: errors.Is(err, ErrZeroPivot).
+func (e *ZeroPivotError) Is(target error) bool { return target == ErrZeroPivot }
 
 // Stats summarizes the complex solve.
 type Stats struct {
@@ -181,7 +197,7 @@ func (s *Solver) factorize() error {
 		if cmplx.Abs(piv) < thresh {
 			if !s.opts.ReplaceTinyPivot {
 				if piv == 0 {
-					return fmt.Errorf("zsolver: column %d: %w", j, ErrZeroPivot)
+					return &ZeroPivotError{Col: j, Threshold: thresh}
 				}
 			} else {
 				// Preserve the phase of the tiny pivot; a zero pivot gets

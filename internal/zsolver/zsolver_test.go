@@ -1,6 +1,7 @@
 package zsolver
 
 import (
+	"errors"
 	"math/cmplx"
 	"math/rand"
 	"testing"
@@ -190,5 +191,67 @@ func TestComplexWrongSizeRHS(t *testing.T) {
 	}
 	if _, err := s.Solve(make([]complex128, 5)); err == nil {
 		t.Error("wrong-length rhs accepted")
+	}
+}
+
+func TestComplexZeroPivotTypedError(t *testing.T) {
+	// Port of the real solver's typed zero-pivot regression: the complex
+	// factorization must also report WHICH column broke and under what
+	// threshold, and keep matching the sentinel.
+	tr := zsparse.NewTriplet(3, 3)
+	tr.Append(1, 0, complex(2, 1))
+	tr.Append(0, 1, complex(1, -2))
+	tr.Append(2, 1, complex(0.5, 0))
+	tr.Append(0, 2, complex(0.1, 0))
+	tr.Append(2, 2, complex(3, 0))
+	a := tr.ToCSC()
+
+	_, err := New(a, Options{Ordering: ordering.Natural})
+	if err == nil {
+		t.Fatal("plain no-pivoting accepted a zero-diagonal complex matrix")
+	}
+	var zp *ZeroPivotError
+	if !errors.As(err, &zp) {
+		t.Fatalf("error %T is not a *ZeroPivotError: %v", err, err)
+	}
+	if zp.Col != 0 {
+		t.Errorf("Col = %d, want 0", zp.Col)
+	}
+	if zp.Threshold <= 0 {
+		t.Errorf("Threshold = %g, want > 0", zp.Threshold)
+	}
+	if !errors.Is(err, ErrZeroPivot) {
+		t.Error("typed error no longer matches the ErrZeroPivot sentinel")
+	}
+}
+
+func TestComplexZeroDiagonalReplacementCounts(t *testing.T) {
+	// The same structurally-zero diagonal, with replacement on: the
+	// factorization must succeed, count its perturbations, and refinement
+	// must repair them — the complex mirror of the real TinyPivots test.
+	tr := zsparse.NewTriplet(3, 3)
+	tr.Append(1, 0, complex(2, 1))
+	tr.Append(0, 1, complex(1, -2))
+	tr.Append(2, 1, complex(0.5, 0))
+	tr.Append(0, 2, complex(0.1, 0))
+	tr.Append(2, 2, complex(3, 0))
+	a := tr.ToCSC()
+
+	s, err := New(a, Options{Ordering: ordering.Natural, ReplaceTinyPivot: true, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().TinyPivots == 0 {
+		t.Error("zero diagonal factored without recorded replacements")
+	}
+	want := []complex128{complex(1, 1), complex(-2, 0), complex(0, 3)}
+	b := make([]complex128, 3)
+	a.MatVec(b, want)
+	x, err := s.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := zsparse.RelErrInf(x, want); e > 1e-9 {
+		t.Errorf("error after refinement %g", e)
 	}
 }
