@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race checktest chaostest servebench verify bench
+.PHONY: build test vet lint race checktest chaostest servebench faultbench verify bench
 
 build:
 	$(GO) build ./...
@@ -33,11 +33,13 @@ checktest:
 
 # Fault drill: the deterministic fault-injection suite (faultsim), the
 # resilience ladder's rung-by-rung recovery tests, the laddered core
-# integration, and the serve-layer chaos tests — all under the race
-# detector with the gespcheck invariants on, so an escalation that
-# corrupts structure or races the batcher fails loudly.
+# integration, the serve-layer chaos tests, and the distributed chaos
+# suite (chaos-injected mpisim watchdog + checkpoint/restart
+# factorization) — all under the race detector with the gespcheck
+# invariants on, so an escalation that corrupts structure, races the
+# batcher, or breaks deterministic recovery fails loudly.
 chaostest:
-	$(GO) test -race -tags gespcheck ./internal/faultsim/... ./internal/resilience/... ./internal/core/... ./internal/serve/...
+	$(GO) test -race -tags gespcheck ./internal/faultsim/... ./internal/resilience/... ./internal/core/... ./internal/serve/... ./internal/mpisim/... ./internal/dist/...
 
 # Serving-layer smoke: one short closed-loop throughput measurement
 # plus a single-iteration run of the serve benchmark. Catches wiring
@@ -47,11 +49,17 @@ servebench:
 	$(GO) run ./cmd/gesp-serve -load -clients 8 -duration 300ms -patterns 2 -variants 3 -scale 0.25
 	$(GO) test -run - -bench BenchmarkServeThroughput -benchtime 1x .
 
+# Distributed fault-tolerance smoke: run the recovery-overhead table at
+# reduced scale. Fails if any injected fault (kill, stall, dropped
+# message) is not recovered with bit-identical factors.
+faultbench:
+	$(GO) run ./cmd/gesp-bench -exp faults -scale 0.25
+
 # The full pre-commit gate: static checks, build, the complete test
 # suite, the race detector over the concurrent packages, the
-# invariant-checked build, the fault drill, and the serving-layer
-# smoke.
-verify: vet lint build test race checktest chaostest servebench
+# invariant-checked build, the fault drill, the serving-layer smoke,
+# and the fault-recovery smoke.
+verify: vet lint build test race checktest chaostest servebench faultbench
 
 bench:
 	$(GO) test -bench=. -benchmem .

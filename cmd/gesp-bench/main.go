@@ -31,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gesp-bench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, resilience")
+		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, resilience, faults")
 		scale    = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
 		procsF   = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
 		p5       = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
@@ -76,7 +76,7 @@ func main() {
 		"table2": true, "table3": true, "table4": true, "table5": true,
 		"edag": true, "pipeline": true, "nopivot": true, "blocksize": true,
 		"ordering": true, "iterative": true, "relax": true, "redist": true, "gridshape": true,
-		"parfactor": true, "serve": true, "resilience": true,
+		"parfactor": true, "serve": true, "resilience": true, "faults": true,
 	}
 	if !known[*exp] {
 		log.Fatalf("unknown experiment %q (see -h for the list)", *exp)
@@ -221,6 +221,13 @@ func main() {
 			log.Fatal(err)
 		}
 		experiments.PrintResilience(w, rows)
+	})
+	section("faults", func() {
+		rows, err := experiments.FaultAblation(1, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintFaults(w, rows)
 	})
 }
 

@@ -33,8 +33,19 @@ var Analyzer = &analysis.Analyzer{
 // to both the real packages (gesp/internal/mpisim) and test fixtures.
 var scopedPackages = map[string]bool{"mpisim": true, "dist": true, "sched": true}
 
-// wallFuncs are the time-package functions that read the host clock.
-var wallFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+// wallFuncs are the time-package functions that read or schedule
+// against the host clock. Timer constructors (After, AfterFunc, Tick,
+// NewTimer, NewTicker) and Sleep are included: a watchdog or
+// checkpoint interval built on host timers would make failure
+// detection depend on machine speed, where the simulator's wedge
+// detection must fire at a deterministic virtual time. Wall-clock
+// backstops that only guard against simulator bugs opt out with
+// //gesp:wallclock.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
 
 // seededCtors are the math/rand package-level functions that do not
 // touch the global generator and are therefore deterministic when given
@@ -76,9 +87,9 @@ func run(pass *analysis.Pass) error {
 			case "time":
 				if wallFuncs[obj.Name()] && !exempt() {
 					pass.Reportf(sel.Pos(),
-						"time.%s reads the host wall clock inside a deterministic simulation package; "+
+						"time.%s depends on the host wall clock inside a deterministic simulation package; "+
 							"use the rank's virtual clock, or annotate the function //gesp:wallclock "+
-							"if this is intentional real-time measurement", obj.Name())
+							"if this is an intentional real-time measurement or backstop", obj.Name())
 				}
 			case "math/rand", "math/rand/v2":
 				if !seededCtors[obj.Name()] && !exempt() {

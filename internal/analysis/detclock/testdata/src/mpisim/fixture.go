@@ -10,14 +10,39 @@ import (
 var sink float64
 
 func virtualStep() {
-	t := time.Now() // want `time\.Now reads the host wall clock`
+	t := time.Now() // want `time\.Now depends on the host wall clock`
 	sink += float64(t.Unix())
 	sink += rand.Float64()             // want `rand\.Float64 uses the globally-seeded generator`
 	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the globally-seeded generator`
 }
 
 func elapsed(t0 time.Time) {
-	sink += time.Since(t0).Seconds() // want `time\.Since reads the host wall clock`
+	sink += time.Since(t0).Seconds() // want `time\.Since depends on the host wall clock`
+}
+
+// hostWatchdog builds failure detection on host timers: forbidden — a
+// watchdog deadline must be expressed in virtual time or it fires at a
+// machine-speed-dependent point in the simulation.
+func hostWatchdog(d time.Duration, stop chan struct{}) {
+	time.Sleep(d) // want `time\.Sleep depends on the host wall clock`
+	select {
+	case <-time.After(d): // want `time\.After depends on the host wall clock`
+	case <-stop:
+	}
+	tm := time.NewTimer(d) // want `time\.NewTimer depends on the host wall clock`
+	tm.Stop()
+	tk := time.NewTicker(d) // want `time\.NewTicker depends on the host wall clock`
+	tk.Stop()
+	time.AfterFunc(d, func() {}) // want `time\.AfterFunc depends on the host wall clock`
+}
+
+// wallBackstop arms a real timer that only fires if the deterministic
+// watchdog itself is broken: an allowed, annotated escape hatch.
+//
+//gesp:wallclock
+func wallBackstop(d time.Duration) func() {
+	t := time.AfterFunc(d, func() { panic("backstop") })
+	return func() { t.Stop() }
 }
 
 // seededOK uses an explicitly seeded generator: deterministic, allowed.
@@ -33,6 +58,11 @@ func seededOK() {
 func wallTimer() time.Duration {
 	t0 := time.Now()
 	return time.Since(t0)
+}
+
+func lineExemptTimer(stop chan struct{}) {
+	//gesp:wallclock
+	<-time.After(time.Millisecond)
 }
 
 func lineExempt() {

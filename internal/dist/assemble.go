@@ -1,0 +1,63 @@
+package dist
+
+import (
+	"sort"
+
+	"gesp/internal/lu"
+)
+
+// AssembleFactors gathers the factored distributed blocks into serial
+// lu.Factors storage (LVal/UVal in the symbolic pattern order). The
+// fault-tolerant driver uses it to fingerprint a recovered
+// factorization against a fault-free run; it also lets any serial tool
+// (condition estimation, fingerprint verification, the resilience
+// ladder) consume a distributed factorization.
+func AssembleFactors(st *Structure, blockSets []map[int]*Block) *lu.Factors {
+	sym := st.Sym
+	ns := st.N
+	all := make(map[int]*Block, 0)
+	for _, bs := range blockSets {
+		// Key-indexed overlay into one map: insertion order is irrelevant
+		// (ownership is disjoint), so map iteration order cannot leak.
+		//gesp:unordered
+		for k, b := range bs {
+			all[k] = b
+		}
+	}
+	f := &lu.Factors{
+		Sym:  sym,
+		LVal: make([]float64, sym.NnzL()),
+		UVal: make([]float64, sym.NnzU()),
+	}
+	for j := 0; j < sym.N; j++ {
+		bj := sym.SupOf[j]
+		for p := sym.UPtr[j]; p < sym.UPtr[j+1]; p++ {
+			i := sym.UInd[p]
+			f.UVal[p] = blockAt(all[sym.SupOf[i]*ns+bj], i, j)
+		}
+		for q := sym.LPtr[j]; q < sym.LPtr[j+1]; q++ {
+			i := sym.LInd[q]
+			f.LVal[q] = blockAt(all[sym.SupOf[i]*ns+bj], i, j)
+		}
+	}
+	return f
+}
+
+// blockAt reads a block entry by global coordinates, treating a missing
+// block or row as structural zero (possible only with relaxed
+// supernodes, where the symbolic pattern can pad beyond the blocks'
+// lead-column skeleton).
+func blockAt(b *Block, i, j int) float64 {
+	if b == nil {
+		return 0
+	}
+	ri := sort.SearchInts(b.Rows, i)
+	if ri >= len(b.Rows) || b.Rows[ri] != i {
+		return 0
+	}
+	ci := sort.SearchInts(b.Cols, j)
+	if ci >= len(b.Cols) || b.Cols[ci] != j {
+		return 0
+	}
+	return b.Val[ci*b.NR()+ri]
+}

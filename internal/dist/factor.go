@@ -59,6 +59,19 @@ type worker struct {
 	panelDone []bool
 	tiny      int
 	zeroPivot bool
+
+	// Checkpoint/restart hooks (zero values = plain fault-free run).
+	// start is the first panel to execute (earlier panels were restored
+	// from a checkpoint); ckptEvery > 0 enables a coordinated checkpoint
+	// every ckptEvery panels, where onCkpt(k) receives the frontier k
+	// right after the barrier that makes the cut consistent. Checkpoints
+	// require the non-pipelined schedule: the barrier at the top of
+	// iteration k proves every tag-<k message has been consumed and no
+	// tag-≥k message exists yet, so the mailboxes are empty at the cut —
+	// pipelining pre-runs panel k+1 and breaks that argument.
+	start     int
+	ckptEvery int
+	onCkpt    func(k int)
 }
 
 func (w *worker) owner(i, j int) int { return w.g.OwnerOfBlock(i, j) }
@@ -213,10 +226,15 @@ func (w *worker) doPanel(k int) {
 }
 
 // factorize runs the right-looking distributed LU of the paper's
-// Figure 8, with optional pipelining.
+// Figure 8, with optional pipelining, starting at panel w.start (0 in
+// a fresh run, the checkpoint frontier after a restart).
 func (w *worker) factorize() {
 	ns := w.st.N
-	for k := 0; k < ns; k++ {
+	for k := w.start; k < ns; k++ {
+		if w.ckptEvery > 0 && k > w.start && (k-w.start)%w.ckptEvery == 0 {
+			w.r.Barrier()
+			w.onCkpt(k)
+		}
 		w.doPanel(k)
 
 		// Gather the L and U blocks this rank needs for the rank-b update
@@ -292,6 +310,12 @@ func (w *worker) factorize() {
 				}
 			}
 		}
+	}
+	if w.ckptEvery > 0 {
+		// Final checkpoint at frontier ns: a restart after a solve-phase
+		// failure replays no factorization at all.
+		w.r.Barrier()
+		w.onCkpt(ns)
 	}
 }
 

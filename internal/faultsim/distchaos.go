@@ -1,0 +1,76 @@
+package faultsim
+
+import (
+	"time"
+
+	"gesp/internal/mpisim"
+)
+
+// Chaos builds deterministic mpisim fault plans — the distributed
+// counterpart of the numeric injectors above. Every Build returns a
+// fresh plan (one-shot state unshared), so a builder reproduces the
+// same chaos schedule run after run: the repeatability the chaos suite
+// enforces. Share one *plan* across the worlds of a checkpoint/restart
+// lineage; share one *builder* across independent runs you want
+// identical.
+type Chaos struct {
+	seed     int64
+	jitter   float64
+	dup      float64
+	drop     float64
+	maxDrops int
+	deadline float64
+	backstop time.Duration
+	faults   []mpisim.RankFault
+}
+
+// NewChaos returns a chaos builder whose plans are a pure function of
+// seed and the builder calls made.
+func NewChaos(seed int64) *Chaos { return &Chaos{seed: seed} }
+
+// Kill schedules rank's death at virtual time at.
+func (c *Chaos) Kill(rank int, at float64) *Chaos {
+	c.faults = append(c.faults, mpisim.RankFault{Rank: rank, At: at})
+	return c
+}
+
+// Stall schedules a stall of dur virtual seconds on rank at time at. A
+// dur below the watchdog deadline is a survivable hiccup; at or above
+// it, the rank counts as dead.
+func (c *Chaos) Stall(rank int, at, dur float64) *Chaos {
+	c.faults = append(c.faults, mpisim.RankFault{Rank: rank, At: at, Stall: dur})
+	return c
+}
+
+// Jitter sets the maximum extra per-message virtual latency.
+func (c *Chaos) Jitter(max float64) *Chaos { c.jitter = max; return c }
+
+// Duplicate sets the probability a send is delivered twice.
+func (c *Chaos) Duplicate(prob float64) *Chaos { c.dup = prob; return c }
+
+// Drop sets the probability a send is lost, with a total budget of
+// dropped messages (budget <= 0 means 1).
+func (c *Chaos) Drop(prob float64, budget int) *Chaos {
+	c.drop, c.maxDrops = prob, budget
+	return c
+}
+
+// Watchdog overrides the detection deadline charged in virtual time.
+func (c *Chaos) Watchdog(deadline float64) *Chaos { c.deadline = deadline; return c }
+
+// WallBackstop arms the real-time safety net on built plans.
+func (c *Chaos) WallBackstop(d time.Duration) *Chaos { c.backstop = d; return c }
+
+// Build materializes a fresh fault plan.
+func (c *Chaos) Build() *mpisim.FaultPlan {
+	return &mpisim.FaultPlan{
+		Seed:             c.seed,
+		DelayJitter:      c.jitter,
+		DupProb:          c.dup,
+		DropProb:         c.drop,
+		MaxDrops:         c.maxDrops,
+		RankFaults:       append([]mpisim.RankFault(nil), c.faults...),
+		WatchdogDeadline: c.deadline,
+		WallBackstop:     c.backstop,
+	}
+}

@@ -1,0 +1,54 @@
+package faultsim
+
+import (
+	"testing"
+	"time"
+
+	"gesp/internal/mpisim"
+)
+
+// A builder must reproduce the same schedule on every Build, with no
+// one-shot state shared between the built plans — that is the property
+// the checkpoint/restart lineage and the repeatability suite lean on.
+func TestChaosBuildRepeatable(t *testing.T) {
+	c := NewChaos(7).
+		Kill(2, 1e-3).
+		Stall(0, 2e-3, 5e-4).
+		Jitter(1e-5).
+		Duplicate(0.25).
+		Drop(0.1, 3).
+		Watchdog(4e-3).
+		WallBackstop(time.Second)
+
+	p1, p2 := c.Build(), c.Build()
+	if p1 == p2 {
+		t.Fatal("Build returned the same plan twice; one-shot state would be shared")
+	}
+	eq := func(a, b *mpisim.FaultPlan) bool {
+		if a.Seed != b.Seed || a.DelayJitter != b.DelayJitter ||
+			a.DupProb != b.DupProb || a.DropProb != b.DropProb ||
+			a.MaxDrops != b.MaxDrops || a.WatchdogDeadline != b.WatchdogDeadline ||
+			a.WallBackstop != b.WallBackstop || len(a.RankFaults) != len(b.RankFaults) {
+			return false
+		}
+		for i := range a.RankFaults {
+			if a.RankFaults[i] != b.RankFaults[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(p1, p2) {
+		t.Fatalf("plans from one builder differ:\n%+v\n%+v", p1, p2)
+	}
+
+	// Later builder mutations must not leak into already-built plans.
+	c.Kill(3, 9e-3)
+	if len(p1.RankFaults) != 2 {
+		t.Fatalf("built plan saw a later builder mutation: %+v", p1.RankFaults)
+	}
+	p3 := c.Build()
+	if len(p3.RankFaults) != 3 {
+		t.Fatalf("builder lost a fault: %+v", p3.RankFaults)
+	}
+}

@@ -6,9 +6,26 @@ package mpisim
 // Barrier blocks until every rank has entered it; on release all virtual
 // clocks advance to the latest participant's clock plus one latency
 // (a tree barrier would be cheaper, but the solver only uses barriers
-// between phases, where the constant does not matter).
+// between phases, where the constant does not matter). If the watchdog
+// declares the world failed while waiting — a participant died and the
+// barrier can never complete — the rank unwinds instead of blocking
+// forever (see World.Run); use BarrierTimeout to handle it in place.
 func (r *Rank) Barrier() {
+	if err := r.BarrierTimeout(); err != nil {
+		panic(rankAbort{err})
+	}
+}
+
+// BarrierTimeout is Barrier with watchdog protection surfaced as an
+// error: ErrRankDead or ErrTimeout once the watchdog declares the
+// barrier unreachable, with the rank's clock advanced to the detection
+// time.
+func (r *Rank) BarrierTimeout() error {
+	r.applyFaults()
 	w := r.world
+	if f := w.sup.failure.Load(); f != nil {
+		return r.failed(f)
+	}
 	w.barrierMu.Lock()
 	if r.clock > w.barrierClockPending {
 		w.barrierClockPending = r.clock
@@ -21,22 +38,39 @@ func (r *Rank) Barrier() {
 		w.barrierCount = 0
 		w.barrierGen++
 		w.barrierCond.Broadcast()
-	} else {
-		for gen == w.barrierGen {
-			w.barrierCond.Wait()
+		release := w.barrierClock
+		w.barrierMu.Unlock()
+		if release > r.clock {
+			r.commTime += release - r.clock
+			r.clock = release
 		}
+		return nil
 	}
+	w.barrierMu.Unlock()
+	if err := w.sup.block(r.id, waiter{kind: waitBarrier, gen: gen, clock: r.clock}); err != nil {
+		return r.failed(w.sup.failure.Load())
+	}
+	w.barrierMu.Lock()
+	for gen == w.barrierGen && w.sup.failure.Load() == nil {
+		w.barrierCond.Wait()
+	}
+	released := gen != w.barrierGen
 	release := w.barrierClock
 	w.barrierMu.Unlock()
+	w.sup.unblock(r.id)
+	if !released {
+		return r.failed(w.sup.failure.Load())
+	}
 	if release > r.clock {
 		r.commTime += release - r.clock
 		r.clock = release
 	}
+	return nil
 }
 
 // Probe reports whether a message from src with tag is already queued.
 func (r *Rank) Probe(src, tag int) bool {
-	return r.world.mail[r.id].probe(src, tag)
+	return r.world.mail[r.id].queued(src, tag)
 }
 
 // RecvAny blocks until any message is queued for this rank, then returns
@@ -44,15 +78,44 @@ func (r *Rank) Probe(src, tag int) bool {
 // by source then tag, keeping the discrete-event order as deterministic
 // as the real scheduling allows). It returns the source, tag and payload.
 // This is the MPI_ANY_SOURCE receive of the paper's message-driven
-// triangular solve.
+// triangular solve. On world failure the rank unwinds (see World.Run);
+// use RecvAnyTimeout to handle the failure in place.
 func (r *Rank) RecvAny() (src, tag int, payload any) {
-	m := r.world.mail[r.id].takeAny(r.world.Model)
-	arrival := m.sentAt + r.world.Model.Latency + float64(m.bytes)*r.world.Model.CostPerByte
-	if arrival > r.clock {
-		r.commTime += arrival - r.clock
-		r.clock = arrival
+	src, tag, payload, err := r.RecvAnyTimeout()
+	if err != nil {
+		panic(rankAbort{err})
 	}
-	return m.src, m.tag, m.payload
+	return src, tag, payload
+}
+
+// RecvAnyTimeout is RecvAny with watchdog protection surfaced as an
+// error (ErrRankDead or ErrTimeout, clock advanced to detection time).
+func (r *Rank) RecvAnyTimeout() (src, tag int, payload any, err error) {
+	r.applyFaults()
+	w := r.world
+	mb := w.mail[r.id]
+	for {
+		if f := w.sup.failure.Load(); f != nil {
+			return -1, -1, nil, r.failed(f)
+		}
+		mb.mu.Lock()
+		m := mb.tryTakeAny(w.Model)
+		gen := mb.gen
+		mb.mu.Unlock()
+		if m != nil {
+			r.deliver(m)
+			return m.src, m.tag, m.payload, nil
+		}
+		if berr := w.sup.block(r.id, waiter{kind: waitRecvAny, clock: r.clock}); berr != nil {
+			return -1, -1, nil, r.failed(w.sup.failure.Load())
+		}
+		mb.mu.Lock()
+		for mb.gen == gen && w.sup.failure.Load() == nil {
+			mb.cond.Wait()
+		}
+		mb.mu.Unlock()
+		w.sup.unblock(r.id)
+	}
 }
 
 // Tags reserved for collectives; user tags must stay below tagCollective.

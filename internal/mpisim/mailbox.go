@@ -5,35 +5,53 @@ import "sync"
 // mailbox is one rank's incoming message store with its own lock, so
 // traffic between disjoint rank pairs never contends (the original
 // whole-world mutex serialized a 512-rank simulation onto one core).
+//
+// Blocking lives in the Rank receive methods, which coordinate with the
+// watchdog supervisor; the mailbox itself only offers non-blocking
+// dequeues plus a generation counter the wait loops key off.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
+	gen   uint64             // bumped on every put; wait loops recheck on change
 	boxes map[int][]*message // key: src<<20 | tag
+	// lastSeq is the idempotent-delivery watermark per (src, tag) key.
+	// Sender sequence numbers are strictly increasing per destination,
+	// so a message at or below the watermark is a duplicate delivery
+	// and is discarded on arrival (ack-free dedup).
+	lastSeq map[int]int64
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{boxes: make(map[int][]*message)}
+	mb := &mailbox{boxes: make(map[int][]*message), lastSeq: make(map[int]int64)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
-func (mb *mailbox) put(m *message) {
-	mb.mu.Lock()
+// put enqueues a message, discarding duplicate (src, tag, seq)
+// deliveries. It reports whether the message was discarded.
+func (mb *mailbox) put(m *message) (dup bool) {
 	key := tagKey(m.src, m.tag)
+	mb.mu.Lock()
+	if m.seq <= mb.lastSeq[key] {
+		mb.mu.Unlock()
+		return true
+	}
+	mb.lastSeq[key] = m.seq
 	mb.boxes[key] = append(mb.boxes[key], m)
+	mb.gen++
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
+	return false
 }
 
-// take blocks until a (src, tag) message is queued and dequeues it.
-func (mb *mailbox) take(src, tag int) *message {
+// tryTake dequeues a (src, tag) message if one is queued. Caller holds
+// mb.mu.
+func (mb *mailbox) tryTake(src, tag int) *message {
 	key := tagKey(src, tag)
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for len(mb.boxes[key]) == 0 {
-		mb.cond.Wait()
-	}
 	q := mb.boxes[key]
+	if len(q) == 0 {
+		return nil
+	}
 	m := q[0]
 	if len(q) == 1 {
 		delete(mb.boxes, key)
@@ -43,47 +61,59 @@ func (mb *mailbox) take(src, tag int) *message {
 	return m
 }
 
-// takeAny blocks until anything is queued, then dequeues the message with
-// the earliest virtual arrival (ties broken by key for determinism).
-func (mb *mailbox) takeAny(model CostModel) *message {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		bestKey := -1
-		bestArrival := 0.0
-		// Strict-min reduction with a total tie-break order, so the
-		// winner is independent of map iteration order.
-		//gesp:unordered
-		for key, q := range mb.boxes {
-			if len(q) == 0 {
-				continue
-			}
-			m := q[0]
-			arr := m.sentAt + model.Latency + float64(m.bytes)*model.CostPerByte
-			// The arrival tie-break must be exact: equal virtual arrivals
-			// are common (same-size messages) and fall through to the key
-			// order, which is what makes the dequeue deterministic.
-			//gesp:floateq
-			if bestKey == -1 || arr < bestArrival || (arr == bestArrival && key < bestKey) {
-				bestKey, bestArrival = key, arr
-			}
+// tryTakeAny dequeues the queued message with the earliest virtual
+// arrival (ties broken by key for determinism), or nil if the mailbox
+// is empty. Caller holds mb.mu.
+func (mb *mailbox) tryTakeAny(model CostModel) *message {
+	bestKey := -1
+	bestArrival := 0.0
+	// Strict-min reduction with a total tie-break order, so the
+	// winner is independent of map iteration order.
+	//gesp:unordered
+	for key, q := range mb.boxes {
+		if len(q) == 0 {
+			continue
 		}
-		if bestKey >= 0 {
-			q := mb.boxes[bestKey]
-			m := q[0]
-			if len(q) == 1 {
-				delete(mb.boxes, bestKey)
-			} else {
-				mb.boxes[bestKey] = q[1:]
-			}
-			return m
+		m := q[0]
+		arr := m.sentAt + model.Latency + float64(m.bytes)*model.CostPerByte + m.delay
+		// The arrival tie-break must be exact: equal virtual arrivals
+		// are common (same-size messages) and fall through to the key
+		// order, which is what makes the dequeue deterministic.
+		//gesp:floateq
+		if bestKey == -1 || arr < bestArrival || (arr == bestArrival && key < bestKey) {
+			bestKey, bestArrival = key, arr
 		}
-		mb.cond.Wait()
 	}
+	if bestKey < 0 {
+		return nil
+	}
+	q := mb.boxes[bestKey]
+	m := q[0]
+	if len(q) == 1 {
+		delete(mb.boxes, bestKey)
+	} else {
+		mb.boxes[bestKey] = q[1:]
+	}
+	return m
 }
 
-func (mb *mailbox) probe(src, tag int) bool {
+// queued reports whether a (src, tag) message is waiting.
+func (mb *mailbox) queued(src, tag int) bool {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	return len(mb.boxes[tagKey(src, tag)]) > 0
+}
+
+// queuedAny reports whether any message is waiting.
+func (mb *mailbox) queuedAny() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	// Existence check only: no order dependence.
+	//gesp:unordered
+	for _, q := range mb.boxes {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
 }

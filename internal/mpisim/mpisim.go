@@ -20,6 +20,7 @@ package mpisim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // CostModel is the LogGP-style machine model. The defaults approximate a
@@ -49,6 +50,8 @@ type message struct {
 	payload  any
 	bytes    int
 	sentAt   float64 // sender's virtual clock at send time
+	seq      int64   // per-(src,dst) sequence number, for idempotent delivery
+	delay    float64 // extra transit time injected by the fault plan
 }
 
 // World is one simulated machine: P ranks with per-rank mailboxes.
@@ -57,6 +60,15 @@ type World struct {
 	Model CostModel
 
 	mail []*mailbox
+	plan *FaultPlan
+	sup  *supervisor
+
+	// Chaos accounting (only nonzero under a fault plan).
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	deduped    atomic.Int64
+	delayed    atomic.Int64
+	stalls     atomic.Int64
 
 	barrierMu           sync.Mutex
 	barrierCond         *sync.Cond
@@ -76,19 +88,51 @@ func NewWorld(p int, model CostModel) *World {
 	w.ranks = make([]*Rank, p)
 	for i := 0; i < p; i++ {
 		w.mail[i] = newMailbox()
-		w.ranks[i] = &Rank{world: w, id: i}
+		w.ranks[i] = &Rank{world: w, id: i, seqTo: make([]int64, p)}
+		w.ranks[i].lastRecvKey.Store(-1)
 	}
+	w.sup = newSupervisor(w)
 	return w
 }
 
+// InstallFaults attaches a chaos schedule to the world; call before
+// Run. The same plan may be shared across the successive worlds of a
+// checkpoint/restart driver — one-shot events (kills, stalls, the drop
+// budget) fire at most once across the whole lineage.
+func (w *World) InstallFaults(p *FaultPlan) { w.plan = p }
+
 // Run executes body on every rank concurrently and waits for all to
 // finish. It is the moral equivalent of mpirun.
+//
+// Unlike a bare goroutine fan-out, a rank that dies — killed by the
+// fault plan, aborted by a world failure, or panicking on its own —
+// does not hang the world: the supervisor marks it dead, the survivors
+// run to a quiescent state, and the watchdog converts the inevitable
+// wedge into a FailureReport (see Failure). A panic unrelated to the
+// runtime is reported with Kind "panic" and its value preserved.
 func (w *World) Run(body func(r *Rank)) {
+	w.sup = newSupervisor(w) // fresh supervision per Run (worlds may Run repeatedly)
+	if w.plan != nil && w.plan.WallBackstop > 0 {
+		stop := w.startWallBackstop(w.plan.WallBackstop)
+		defer stop()
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.P)
 	for i := 0; i < w.P; i++ {
 		go func(r *Rank) {
 			defer wg.Done()
+			defer func() {
+				switch e := recover(); e.(type) {
+				case nil:
+					w.sup.rankDone(r.id)
+				case rankDeath, rankAbort:
+					// Already accounted by the supervisor (death) or a
+					// consequence of an existing failure (abort).
+					w.sup.rankDone(r.id)
+				default:
+					w.sup.rankDead(r.id, "panic", r.clock, e)
+				}
+			}()
 			body(r)
 		}(w.ranks[i])
 	}
@@ -103,8 +147,14 @@ type Rank struct {
 	clock    float64 // virtual time (seconds)
 	commTime float64 // part of clock spent sending/waiting
 	flops    int64
-	sent     int64 // messages sent
-	sentVol  int64 // payload bytes sent
+	sent     int64   // messages sent
+	sentVol  int64   // payload bytes sent
+	seqTo    []int64 // per-destination send sequence numbers
+
+	// Last delivered message, for failure reports (read by the
+	// supervisor while this rank may still be running).
+	lastRecvKey atomic.Int64 // src<<20|tag, -1 if none yet
+	lastRecvSeq atomic.Int64
 }
 
 // ID returns the rank number in [0, P).
@@ -113,45 +163,169 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the number of ranks.
 func (r *Rank) Size() int { return r.world.P }
 
+// applyFaults consults the fault plan at a runtime-call boundary: a
+// pending kill unwinds the rank (marking it dead with the supervisor),
+// a short stall just advances the virtual clock, and a stall past the
+// watchdog deadline counts as death (no watchdog could tell the
+// difference).
+func (r *Rank) applyFaults() {
+	p := r.world.plan
+	if p == nil {
+		return
+	}
+	for {
+		rf := p.nextRankFault(r.id, r.clock)
+		if rf == nil {
+			return
+		}
+		if rf.Stall > 0 && rf.Stall < p.watchdog() {
+			r.clock += rf.Stall
+			r.world.stalls.Add(1)
+			continue
+		}
+		kind := "kill"
+		if rf.Stall > 0 {
+			kind = "stall"
+		}
+		r.world.sup.rankDead(r.id, kind, r.clock, nil)
+		panic(rankDeath{})
+	}
+}
+
+// failed charges the watchdog's detection time to the rank's clock and
+// returns the failure error. It also clears any stale block record.
+func (r *Rank) failed(f *FailureReport) error {
+	r.world.sup.unblock(r.id)
+	if f.DetectedAt > r.clock {
+		r.commTime += f.DetectedAt - r.clock
+		r.clock = f.DetectedAt
+	}
+	return f.Err
+}
+
+// deliver advances the rank's clock to a received message's arrival
+// time and records the receive stamp for failure reports.
+func (r *Rank) deliver(m *message) {
+	r.lastRecvKey.Store(int64(tagKey(m.src, m.tag)))
+	r.lastRecvSeq.Store(m.seq)
+	model := r.world.Model
+	arrival := m.sentAt + model.Latency + float64(m.bytes)*model.CostPerByte + m.delay
+	if arrival > r.clock {
+		r.commTime += arrival - r.clock
+		r.clock = arrival
+	}
+}
+
 // Compute advances the rank's virtual clock by the cost of the given
 // floating-point operations.
 func (r *Rank) Compute(flops int64) {
+	r.applyFaults()
 	r.flops += flops
 	r.clock += float64(flops) * r.world.Model.CostPerFlop
 }
 
 // Elapse advances the virtual clock by a fixed amount of non-flop work
 // (indexing, packing); cost accounting only.
-func (r *Rank) Elapse(seconds float64) { r.clock += seconds }
+func (r *Rank) Elapse(seconds float64) {
+	r.applyFaults()
+	r.clock += seconds
+}
 
 // Send delivers payload to rank dst with the given tag. bytes is the
 // modelled payload size (the Go value itself is passed by reference; the
-// simulation charges the modelled size).
+// simulation charges the modelled size). Under a fault plan the message
+// may be dropped, duplicated or delayed; delivery is idempotent, so a
+// duplicate is discarded at the destination. If the world has already
+// failed, Send unwinds the rank (see Run).
 func (r *Rank) Send(dst, tag int, payload any, bytes int) {
 	if dst == r.id {
 		panic("mpisim: send to self")
 	}
+	r.applyFaults()
+	w := r.world
+	if f := w.sup.failure.Load(); f != nil {
+		panic(rankAbort{r.failed(f)})
+	}
 	m := &message{src: r.id, tag: tag, payload: payload, bytes: bytes}
-	r.clock += r.world.Model.SendOverhead
-	r.commTime += r.world.Model.SendOverhead
+	r.clock += w.Model.SendOverhead
+	r.commTime += w.Model.SendOverhead
 	m.sentAt = r.clock
+	r.seqTo[dst]++
+	m.seq = r.seqTo[dst]
 	r.sent++
 	r.sentVol += int64(bytes)
-	r.world.mail[dst].put(m)
+	if p := w.plan; p != nil {
+		if p.dropMessage(r.id, dst, tag, m.seq) {
+			w.dropped.Add(1)
+			return
+		}
+		m.delay = p.delayFor(r.id, dst, tag, m.seq)
+		if m.delay > 0 {
+			w.delayed.Add(1)
+		}
+		if p.dupMessage(r.id, dst, tag, m.seq) {
+			w.duplicated.Add(1)
+			second := *m
+			if w.mail[dst].put(m) {
+				w.deduped.Add(1)
+			}
+			if w.mail[dst].put(&second) {
+				w.deduped.Add(1)
+			}
+			return
+		}
+	}
+	if w.mail[dst].put(m) {
+		w.deduped.Add(1)
+	}
 }
 
 // Recv blocks until a message with the given source and tag arrives, then
 // returns its payload. The virtual clock advances to the message's
-// arrival time (transit = latency + bytes·cost), and any gap the rank
-// spent blocked is accounted as communication time.
+// arrival time (transit = latency + bytes·cost + injected delay), and
+// any gap the rank spent blocked is accounted as communication time.
+// If the watchdog declares the world failed while waiting, Recv unwinds
+// the rank instead of blocking forever (see Run); use RecvTimeout to
+// handle the failure in place.
 func (r *Rank) Recv(src, tag int) any {
-	m := r.world.mail[r.id].take(src, tag)
-	arrival := m.sentAt + r.world.Model.Latency + float64(m.bytes)*r.world.Model.CostPerByte
-	if arrival > r.clock {
-		r.commTime += arrival - r.clock
-		r.clock = arrival
+	payload, err := r.RecvTimeout(src, tag)
+	if err != nil {
+		panic(rankAbort{err})
 	}
-	return m.payload
+	return payload
+}
+
+// RecvTimeout is Recv with watchdog protection surfaced as an error:
+// when the awaited message can no longer arrive — the sender died, the
+// message was dropped and the world wedged, or the wall backstop fired —
+// it returns ErrRankDead or ErrTimeout (the rank's clock advanced to
+// the detection time) instead of blocking forever.
+func (r *Rank) RecvTimeout(src, tag int) (any, error) {
+	r.applyFaults()
+	w := r.world
+	mb := w.mail[r.id]
+	for {
+		if f := w.sup.failure.Load(); f != nil {
+			return nil, r.failed(f)
+		}
+		mb.mu.Lock()
+		m := mb.tryTake(src, tag)
+		gen := mb.gen
+		mb.mu.Unlock()
+		if m != nil {
+			r.deliver(m)
+			return m.payload, nil
+		}
+		if err := w.sup.block(r.id, waiter{kind: waitRecv, src: src, tag: tag, clock: r.clock}); err != nil {
+			return nil, r.failed(w.sup.failure.Load())
+		}
+		mb.mu.Lock()
+		for mb.gen == gen && w.sup.failure.Load() == nil {
+			mb.cond.Wait()
+		}
+		mb.mu.Unlock()
+		w.sup.unblock(r.id)
+	}
 }
 
 func tagKey(src, tag int) int {
@@ -189,6 +363,11 @@ type Stats struct {
 	Volume   int64
 	// TotalFlops over all ranks; Mflops = TotalFlops/Time/1e6.
 	TotalFlops int64
+	// Chaos accounting, all zero without a fault plan: messages lost in
+	// the network, deliberately double-delivered, discarded by the
+	// idempotent-delivery dedup, given extra transit delay, and
+	// transient rank stalls injected.
+	Dropped, Duplicated, Deduped, Delayed, Stalls int64
 }
 
 // GatherStats summarizes the world's counters.
@@ -215,6 +394,11 @@ func (w *World) GatherStats() Stats {
 	if maxFlops > 0 {
 		s.LoadBalance = float64(s.TotalFlops) / float64(w.P) / float64(maxFlops)
 	}
+	s.Dropped = w.dropped.Load()
+	s.Duplicated = w.duplicated.Load()
+	s.Deduped = w.deduped.Load()
+	s.Delayed = w.delayed.Load()
+	s.Stalls = w.stalls.Load()
 	return s
 }
 
@@ -269,6 +453,29 @@ type Snapshot struct {
 // Snap reads the rank's current counters.
 func (r *Rank) Snap() Snapshot {
 	return Snapshot{Clock: r.clock, Comm: r.commTime, Flops: r.flops, Msgs: r.sent, Bytes: r.sentVol}
+}
+
+// Restore resets the rank's accounting to a checkpoint snapshot and, if
+// resumeAt is later, fast-forwards the clock to it (the failure
+// detection time, so a restarted attempt's timeline continues where the
+// failed one was declared dead). For checkpoint/restart drivers; call
+// from the rank's own goroutine before it does any work.
+func (r *Rank) Restore(s Snapshot, resumeAt float64) {
+	r.clock, r.commTime = s.Clock, s.Comm
+	r.flops, r.sent, r.sentVol = s.Flops, s.Msgs, s.Bytes
+	if resumeAt > r.clock {
+		r.clock = resumeAt
+	}
+}
+
+// Snapshots reads every rank's counters (indexed by rank). Call after
+// Run returns — during a run the ranks own their counters.
+func (w *World) Snapshots() []Snapshot {
+	out := make([]Snapshot, w.P)
+	for i, r := range w.ranks {
+		out[i] = r.Snap()
+	}
+	return out
 }
 
 // PhaseStats summarizes one phase across all ranks from per-rank snapshot
