@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race checktest chaostest servebench faultbench verify bench
+.PHONY: build test vet lint race checktest chaostest servebench faultbench perfsmoke verify bench
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,11 @@ lint:
 
 # Race-check the concurrent engines: the DAG-scheduled shared-memory
 # factorization, the level-scheduled triangular solves, the simulated
-# MPI runtime, the distributed engine built on it, and the caching,
-# batching solve service.
+# MPI runtime, the distributed engine built on it, the caching,
+# batching solve service, and the shared micro-kernels (read-only
+# operand concurrency).
 race:
-	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/...
+	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/... ./internal/kernels/...
 
 # Checked build: rerun the test suite with the gespcheck tag, which
 # re-validates every structural invariant (CSC columns, supernode
@@ -55,11 +56,27 @@ servebench:
 faultbench:
 	$(GO) run ./cmd/gesp-bench -exp faults -scale 0.25
 
+# Perf-gate smoke: regenerate the bench file quickly (1 rep, no
+# min-time floor) and diff it against the committed baseline
+# BENCH_0.json. Machine-independent gating only (-allocs-only): a CI
+# runner's ns/op is not comparable to the baseline machine's, but an
+# allocs/op increase on a //gesp:hotpath entry is a regression
+# anywhere. Full same-machine ns/op gating: make bench (fresh
+# BENCH_N.json) + gesp-perfdiff old new.
+perfsmoke:
+	$(GO) run ./cmd/gesp-benchdump -quick -o BENCH_head.json
+	$(GO) run ./cmd/gesp-perfdiff -allocs-only BENCH_0.json BENCH_head.json
+
 # The full pre-commit gate: static checks, build, the complete test
 # suite, the race detector over the concurrent packages, the
 # invariant-checked build, the fault drill, the serving-layer smoke,
-# and the fault-recovery smoke.
-verify: vet lint build test race checktest chaostest servebench faultbench
+# the fault-recovery smoke, and the perf-gate smoke.
+verify: vet lint build test race checktest chaostest servebench faultbench perfsmoke
 
+# Full benchmark sweep: every package's Go benchmarks, then the
+# schema-versioned bench file (ns/op, allocs/op, Mflops per kernel and
+# engine) the perf gate diffs against. Regenerates BENCH_0.json in
+# place; commit the refresh when intentionally re-baselining.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/gesp-benchdump -o BENCH_0.json

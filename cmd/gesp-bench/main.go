@@ -31,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gesp-bench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, resilience, faults")
+		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, resilience, faults, kernels")
 		scale    = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
 		procsF   = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
 		p5       = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
@@ -77,6 +77,7 @@ func main() {
 		"edag": true, "pipeline": true, "nopivot": true, "blocksize": true,
 		"ordering": true, "iterative": true, "relax": true, "redist": true, "gridshape": true,
 		"parfactor": true, "serve": true, "resilience": true, "faults": true,
+		"kernels": true,
 	}
 	if !known[*exp] {
 		log.Fatalf("unknown experiment %q (see -h for the list)", *exp)
@@ -200,6 +201,18 @@ func main() {
 		}
 	})
 	section("parfactor", func() { experiments.PrintParFactor(w, parfactor()) })
+	section("kernels", func() {
+		rows, err := experiments.KernelAblation("AF23560", *scale, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintKernels(w, rows)
+		for _, r := range rows {
+			if !r.BitOK {
+				log.Fatalf("kernel mode %s broke bit-identity on engine %s", r.Mode, r.Engine)
+			}
+		}
+	})
 	section("serve", func() {
 		rows, err := experiments.ServeAblation(*serveClients, *serveDuration, *scale)
 		if err != nil {

@@ -1,0 +1,66 @@
+// gesp-perfdiff compares two BENCH_*.json snapshots and exits nonzero
+// when the new one regresses a hot-path entry: allocs/op increases
+// always fail; ns/op beyond the tolerance (default 5%) fails unless
+// -allocs-only is set. CI runs it allocs-only against the committed
+// BENCH_0.json (wall time does not transfer between machines); the full
+// gate is for same-machine pairs, e.g. `make bench` before and after a
+// change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gesp/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body: 0 = no regressions, 1 = regressions found,
+// 2 = usage or read error. Report writes go to the terminal (or a test
+// buffer); the exit code is the contract, a failed write has no
+// recovery.
+//
+//gesp:errok
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gesp-perfdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 0.05, "relative ns/op tolerance on hot-path entries")
+	allocsOnly := fs.Bool("allocs-only", false, "gate only allocs/op and baseline coverage (machine-independent)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: gesp-perfdiff [-tol 0.05] [-allocs-only] OLD.json NEW.json")
+		return 2
+	}
+	old, err := perf.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "gesp-perfdiff:", err)
+		return 2
+	}
+	cur, err := perf.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "gesp-perfdiff:", err)
+		return 2
+	}
+	regs := perf.Compare(old, cur, *tol, *allocsOnly)
+	if len(regs) == 0 {
+		mode := "full"
+		if *allocsOnly {
+			mode = "allocs-only"
+		}
+		fmt.Fprintf(stdout, "ok: no hot-path regressions (%s gate, tol %.1f%%, %d baseline entries)\n",
+			mode, 100**tol, len(old.Entries))
+		return 0
+	}
+	fmt.Fprintf(stdout, "FAIL: %d hot-path regression(s) vs %s:\n", len(regs), fs.Arg(0))
+	for _, r := range regs {
+		fmt.Fprintln(stdout, "  "+r.Detail)
+	}
+	return 1
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gesp/internal/perf"
+)
+
+// TestExitsNonzeroOnSyntheticRegression covers the acceptance criterion
+// end to end through the CLI body: a synthetic >5% hot-path slowdown
+// must exit nonzero; the same pair passes allocs-only; a clean pair
+// exits zero.
+func TestExitsNonzeroOnSyntheticRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+
+	mk := func(ns float64, allocs float64) *perf.File {
+		return &perf.File{
+			SchemaVersion: perf.SchemaVersion,
+			Entries: []perf.Entry{
+				{Name: "kernel/matmul/192x24x24", Class: "kernel", HotPath: true, NsPerOp: ns, AllocsPerOp: allocs},
+			},
+		}
+	}
+	if err := perf.WriteFile(oldPath, mk(1000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := perf.WriteFile(newPath, mk(1100, 0)); err != nil { // +10%
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	if code := run([]string{oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("10%% regression exited %d, want 1 (out=%q err=%q)", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ns/op 1000 -> 1100") {
+		t.Fatalf("regression report missing detail: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-allocs-only", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("allocs-only exited %d on a ns-only delta, want 0", code)
+	}
+
+	if err := perf.WriteFile(newPath, mk(1020, 0)); err != nil { // +2%
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("2%% delta exited %d, want 0 (out=%q)", code, out.String())
+	}
+
+	if err := perf.WriteFile(newPath, mk(900, 1)); err != nil { // faster but allocating
+		t.Fatal(err)
+	}
+	if code := run([]string{"-allocs-only", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("alloc increase exited %d under allocs-only, want 1", code)
+	}
+
+	if code := run([]string{oldPath}, &out, &errb); code != 2 {
+		t.Fatalf("missing argument exited %d, want 2", code)
+	}
+}

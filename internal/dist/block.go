@@ -3,6 +3,8 @@ package dist
 import (
 	"math"
 	"sort"
+
+	"gesp/internal/kernels"
 )
 
 // Block is a dense-within-pattern submatrix: the storage unit of the 2-D
@@ -84,15 +86,7 @@ func (b *Block) FactorDiag(thresh float64, replace bool) (tiny int, flops int64,
 			v[k*n+i] /= piv
 		}
 		flops += int64(n - k - 1)
-		for j := k + 1; j < n; j++ {
-			lkj := v[j*n+k] // U(k,j)
-			if lkj == 0 {
-				continue
-			}
-			for i := k + 1; i < n; i++ {
-				v[j*n+i] -= v[k*n+i] * lkj
-			}
-		}
+		kernels.Rank1Trailing(v, n, k)
 		flops += 2 * int64(n-k-1) * int64(n-k-1)
 	}
 	return tiny, flops, true
@@ -105,26 +99,7 @@ func (b *Block) FactorDiag(thresh float64, replace bool) (tiny int, flops int64,
 //gesp:hotpath
 func (b *Block) SolveUFromRight(diag *Block) int64 {
 	nr, nc := b.NR(), b.NC()
-	d := diag.Val
-	dn := diag.NR()
-	for k := 0; k < nc; k++ {
-		// b(:,k) = (b(:,k) - Σ_{m<k} b(:,m)·U(m,k)) / U(k,k)
-		colK := b.Val[k*nr : (k+1)*nr]
-		for m := 0; m < k; m++ {
-			umk := d[k*dn+m]
-			if umk == 0 {
-				continue
-			}
-			colM := b.Val[m*nr : (m+1)*nr]
-			for i := range colK {
-				colK[i] -= colM[i] * umk
-			}
-		}
-		ukk := d[k*dn+k]
-		for i := range colK {
-			colK[i] /= ukk
-		}
-	}
+	kernels.TrsmUpperRight(b.Val, nr, nc, diag.Val, diag.NR())
 	return int64(nr) * int64(nc) * int64(nc)
 }
 
@@ -135,21 +110,7 @@ func (b *Block) SolveUFromRight(diag *Block) int64 {
 //gesp:hotpath
 func (b *Block) SolveLFromLeft(diag *Block) int64 {
 	nr, nc := b.NR(), b.NC()
-	d := diag.Val
-	dn := diag.NR()
-	for c := 0; c < nc; c++ {
-		col := b.Val[c*nr : (c+1)*nr]
-		for k := 0; k < nr; k++ {
-			xk := col[k]
-			if xk == 0 {
-				continue
-			}
-			// col[i] -= L(i,k)·col[k] for i > k.
-			for i := k + 1; i < nr; i++ {
-				col[i] -= d[k*dn+i] * xk
-			}
-		}
-	}
+	kernels.TrsmLowerUnitLeft(b.Val, nr, nc, diag.Val, diag.NR())
 	return int64(nr) * int64(nr) * int64(nc)
 }
 
@@ -163,18 +124,39 @@ func lookup(ids []int, v int) int {
 }
 
 // UpdateScratch holds the reusable work buffers of RankBUpdateInto: the
-// dense product accumulator and the row/column index maps. One scratch
-// per worker (or one for the whole serial engine) removes every per-call
-// allocation from the Schur-update hot path.
+// dense product accumulator, the packed U panel of the register-blocked
+// kernel, and the row/column index maps. One scratch per worker (or one
+// for the whole serial engine) removes every per-call allocation from
+// the Schur-update hot path. Under kernels.ModeBlockedArena the buffers
+// are carved contiguously from one bump arena per call, so a whole
+// update's working set is a single cache-friendly extent.
 type UpdateScratch struct {
 	prod   []float64
+	upack  []float64
 	rowMap []int
 	colMap []int
+	arena  *kernels.Arena
 }
 
-func (ws *UpdateScratch) ensure(nr, nc int) {
+// ensure sizes the buffers for an nr×nc product whose packed U operand
+// has ku rows (ku = 0 on the scalar path, which reads U in place).
+func (ws *UpdateScratch) ensure(nr, nc, ku int) {
+	if kernels.ArenaScratch() {
+		if ws.arena == nil {
+			ws.arena = new(kernels.Arena)
+		}
+		ws.arena.Reset()
+		ws.prod = ws.arena.F64(nr * nc)
+		ws.upack = ws.arena.F64(ku * nc)
+		ws.rowMap = ws.arena.Ints(nr)
+		ws.colMap = ws.arena.Ints(nc)
+		return
+	}
 	if cap(ws.prod) < nr*nc {
 		ws.prod = make([]float64, nr*nc)
+	}
+	if cap(ws.upack) < ku*nc {
+		ws.upack = make([]float64, ku*nc)
 	}
 	if cap(ws.rowMap) < nr {
 		ws.rowMap = make([]int, nr)
@@ -183,6 +165,7 @@ func (ws *UpdateScratch) ensure(nr, nc int) {
 		ws.colMap = make([]int, nc)
 	}
 	ws.prod = ws.prod[:nr*nc]
+	ws.upack = ws.upack[:ku*nc]
 	ws.rowMap = ws.rowMap[:nr]
 	ws.colMap = ws.colMap[:nc]
 }
@@ -207,17 +190,76 @@ func (t *Block) RankBUpdate(l, u *Block) int64 {
 // with relaxed (amalgamated) supernodes a row or column of the operand
 // blocks may be absent from the target — those contributions are
 // provably zero (the corresponding L or U entries are structural-zero
-// padding), so they are skipped. The product is accumulated densely in
-// row strips (cache blocking) and scattered into the target once,
-// keeping the innermost loops branch-free and contiguous. Returns the
+// padding), so they are skipped. Under the blocked kernel modes the
+// mapped U columns are packed contiguously and the product is one
+// register-blocked kernels.MatMul call; the scalar mode keeps the
+// strip-mined reference loop. Both accumulate each product element over
+// ascending k, so the factors agree bit for bit, and both report the
+// same flop count (2·nrL per nonzero entry of a mapped U column — the
+// count the distributed simulator's virtual clock is fed). Returns the
 // flop count.
 //
 //gesp:hotpath
 func (t *Block) RankBUpdateInto(l, u *Block, ws *UpdateScratch) int64 {
+	if kernels.Active() == kernels.ModeScalar {
+		return t.rankBUpdateScalar(l, u, ws)
+	}
 	nrL, nrT := l.NR(), t.NR()
 	ncU, nrU := u.NC(), u.NR()
 	bk := l.NC() // supernode K width; equals u.NR()
-	ws.ensure(nrL, ncU)
+	ws.ensure(nrL, ncU, nrU)
+	rowMap, colMap, prod, upack := ws.rowMap, ws.colMap, ws.prod, ws.upack
+	for i, r := range l.Rows {
+		rowMap[i] = lookup(t.Rows, r)
+	}
+	// Pack the mapped U columns contiguously, recording each packed
+	// column's target index and counting nonzeros for the flop model.
+	nM := 0
+	var nz int64
+	for c, cGlobal := range u.Cols {
+		tc := lookup(t.Cols, cGlobal)
+		if tc < 0 {
+			continue
+		}
+		src := u.Val[c*nrU : (c+1)*nrU]
+		dst := upack[nM*nrU : (nM+1)*nrU]
+		for i, v := range src {
+			dst[i] = v
+			if v != 0 {
+				nz++
+			}
+		}
+		colMap[nM] = tc
+		nM++
+	}
+	if nM == 0 {
+		return 0
+	}
+	kernels.MatMul(prod[:nrL*nM], l.Val, upack[:nrU*nM], nrL, nM, bk)
+	// Scatter-subtract the dense product through the index maps.
+	for c := 0; c < nM; c++ {
+		tcol := t.Val[colMap[c]*nrT : (colMap[c]+1)*nrT]
+		pcol := prod[c*nrL : (c+1)*nrL]
+		for i := 0; i < nrL; i++ {
+			if ti := rowMap[i]; ti >= 0 {
+				tcol[ti] -= pcol[i]
+			}
+		}
+	}
+	return 2 * int64(nrL) * nz
+}
+
+// rankBUpdateScalar is the pre-campaign reference: the product is
+// accumulated densely in row strips (cache blocking) and scattered into
+// the target once, keeping the innermost loops branch-free and
+// contiguous.
+//
+//gesp:hotpath
+func (t *Block) rankBUpdateScalar(l, u *Block, ws *UpdateScratch) int64 {
+	nrL, nrT := l.NR(), t.NR()
+	ncU, nrU := u.NC(), u.NR()
+	bk := l.NC() // supernode K width; equals u.NR()
+	ws.ensure(nrL, ncU, 0)
 	rowMap, colMap, prod := ws.rowMap, ws.colMap, ws.prod
 	for i, r := range l.Rows {
 		rowMap[i] = lookup(t.Rows, r)

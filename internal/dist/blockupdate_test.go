@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gesp/internal/kernels"
+)
+
+// pickN returns n of the ids, drawn without replacement, sorted.
+func pickN(rng *rand.Rand, ids []int, n int) []int {
+	idx := rng.Perm(len(ids))[:n]
+	sort.Ints(idx)
+	out := make([]int, n)
+	for i, q := range idx {
+		out[i] = ids[q]
+	}
+	return out
+}
+
+func fillBlock(rng *rand.Rand, b *Block) {
+	for i := range b.Val {
+		switch rng.Intn(4) {
+		case 0:
+			b.Val[i] = 0
+		default:
+			b.Val[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// TestRankBUpdateModesBitIdentical pins the blocked and arena update
+// paths against the scalar reference bitwise, on operand shapes that
+// straddle the register block, with relaxed-supernode padding (operand
+// rows and columns absent from the target) and with one dirty scratch
+// reused across every shape — the way the engines actually call it.
+func TestRankBUpdateModesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	var wsBlocked, wsArena UpdateScratch // reused, never cleared
+
+	shapes := []struct{ nrL, bk, ncU int }{
+		{1, 1, 1}, {3, 2, 2}, {4, 4, 4}, {5, 3, 7}, {8, 8, 8},
+		{17, 5, 9}, {24, 24, 24}, {31, 7, 12}, {65, 24, 17},
+	}
+	for trial, sh := range shapes {
+		// Global index sets: the target covers a wide range; the operands
+		// cover subsets, plus rows/cols outside the target to exercise
+		// the relaxed-supernode (-1 map) path.
+		tRows := make([]int, sh.nrL+8)
+		for i := range tRows {
+			tRows[i] = i * 2
+		}
+		tCols := make([]int, sh.ncU+8)
+		for i := range tCols {
+			tCols[i] = 1000 + i*2
+		}
+		lRows := pickN(rng, tRows, sh.nrL)
+		lRows[len(lRows)-1]++ // odd: guaranteed absent from the target
+		uCols := pickN(rng, tCols, sh.ncU)
+		uCols[len(uCols)-1]++
+		kCols := make([]int, sh.bk)
+		for i := range kCols {
+			kCols[i] = 500 + i
+		}
+
+		l := NewBlock(lRows, kCols)
+		u := NewBlock(kCols, uCols)
+		fillBlock(rng, l)
+		fillBlock(rng, u)
+		ref := NewBlock(tRows, tCols)
+		fillBlock(rng, ref)
+
+		run := func(m kernels.Mode, ws *UpdateScratch) (*Block, int64) {
+			tgt := NewBlock(tRows, tCols)
+			copy(tgt.Val, ref.Val)
+			prev := kernels.SetMode(m)
+			defer kernels.SetMode(prev)
+			return tgt, tgt.RankBUpdateInto(l, u, ws)
+		}
+		var wsScalar UpdateScratch
+		want, wantFlops := run(kernels.ModeScalar, &wsScalar)
+		gotB, flopsB := run(kernels.ModeBlocked, &wsBlocked)
+		gotA, flopsA := run(kernels.ModeBlockedArena, &wsArena)
+
+		if flopsB != wantFlops || flopsA != wantFlops {
+			t.Fatalf("trial %d: flop counts diverge: scalar %d blocked %d arena %d",
+				trial, wantFlops, flopsB, flopsA)
+		}
+		for i := range want.Val {
+			if math.Float64bits(want.Val[i]) != math.Float64bits(gotB.Val[i]) {
+				t.Fatalf("trial %d: blocked element %d differs", trial, i)
+			}
+			if math.Float64bits(want.Val[i]) != math.Float64bits(gotA.Val[i]) {
+				t.Fatalf("trial %d: arena element %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestRankBUpdateZeroAlloc proves the Schur-update hot path allocates
+// nothing once its scratch is warm, in every kernel mode.
+func TestRankBUpdateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	rows := make([]int, 48)
+	for i := range rows {
+		rows[i] = i
+	}
+	kc := rows[:24]
+	l := NewBlock(rows, kc)
+	u := NewBlock(kc, rows[:16])
+	tgt := NewBlock(rows, rows[:32])
+	fillBlock(rng, l)
+	fillBlock(rng, u)
+
+	for _, m := range []kernels.Mode{kernels.ModeScalar, kernels.ModeBlocked, kernels.ModeBlockedArena} {
+		prev := kernels.SetMode(m)
+		var ws UpdateScratch
+		tgt.RankBUpdateInto(l, u, &ws) // warm the scratch
+		allocs := testing.AllocsPerRun(10, func() {
+			tgt.RankBUpdateInto(l, u, &ws)
+		})
+		kernels.SetMode(prev)
+		if allocs != 0 {
+			t.Errorf("mode %v: %v allocs/op, want 0", m, allocs)
+		}
+	}
+}

@@ -59,6 +59,10 @@ type worker struct {
 	panelDone []bool
 	tiny      int
 	zeroPivot bool
+	// ws is the rank's reusable Schur-update scratch: one per simulated
+	// rank keeps the update hot path allocation-free across the whole
+	// factorization instead of allocating per block pair.
+	ws UpdateScratch
 
 	// Checkpoint/restart hooks (zero values = plain fault-free run).
 	// start is the first panel to execute (earlier panels were restored
@@ -280,7 +284,7 @@ func (w *worker) factorize() {
 				// block was ever allocated.
 				return
 			}
-			w.r.Compute(t.RankBUpdate(l, u))
+			w.r.Compute(t.RankBUpdateInto(l, u, &w.ws))
 		}
 
 		if w.opts.Pipeline && k+1 < ns {

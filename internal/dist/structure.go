@@ -59,43 +59,78 @@ type UBlockInfo struct {
 }
 
 // BuildStructure derives the block skeleton from the symbolic result.
+//
+// Layout: every per-panel slice is a view into one of a handful of
+// shared slabs sized by a counting pass, instead of append-as-you-go.
+// The skeleton is built once but walked by every engine on every panel,
+// so the block lists being a few contiguous extents (rather than
+// thousands of individually grown slices scattered across the heap)
+// keeps the panel loops' metadata reads sequential.
 func BuildStructure(sym *symbolic.Result) *Structure {
 	ns := sym.NumSupernodes()
 	s := &Structure{Sym: sym, N: ns}
 	s.LBlocks = make([][]LBlockInfo, ns)
 	s.UBlocks = make([][]UBlockInfo, ns)
 
+	// L panels: blocks are runs of equal SupOf in the leading column's
+	// strictly-lower pattern (T2 supernodes share it); rows are the
+	// pattern entries outside the supernode. Count, then fill.
+	nLBlk, nLRow := 0, 0
 	for k := 0; k < ns; k++ {
-		lead := sym.SupPtr[k]
 		supEnd := sym.SupPtr[k+1]
-		// L panel: the leading column's strictly-lower pattern outside the
-		// supernode, grouped by block row (T2 supernodes share it).
-		var cur *LBlockInfo
-		for _, r := range sym.LColRows(lead) {
+		prev := -1
+		for _, r := range sym.LColRows(sym.SupPtr[k]) {
 			if r < supEnd {
 				continue // inside the dense diagonal block
 			}
-			bi := sym.SupOf[r]
-			if cur == nil || cur.I != bi {
-				s.LBlocks[k] = append(s.LBlocks[k], LBlockInfo{I: bi})
-				cur = &s.LBlocks[k][len(s.LBlocks[k])-1]
+			if bi := sym.SupOf[r]; bi != prev {
+				nLBlk++
+				prev = bi
 			}
-			cur.Rows = append(cur.Rows, r)
+			nLRow++
 		}
-		// U blocks: for every column j, the U rows landing in supernode K
-		// determine membership of j's supernode in block row K.
-		// Collected below in a single pass over columns.
 	}
-	// One ascending pass over all columns j: each U row r contributes
-	// column j to block (SupOf[r], SupOf[j]). Because columns of a
-	// supernode are consecutive and j ascends, each block row's entries
-	// arrive already grouped by J and each block's columns arrive
-	// ascending — so blocks are built by appending to the tail of
-	// UBlocks[K], no maps or sorting needed. lastCol[K] stamps the last
-	// column appended to block row K, deduplicating within a column.
+	lblkSlab := make([]LBlockInfo, nLBlk)
+	lrowSlab := make([]int, nLRow)
+	bPos, rPos := 0, 0
+	for k := 0; k < ns; k++ {
+		supEnd := sym.SupPtr[k+1]
+		bStart := bPos
+		for _, r := range sym.LColRows(sym.SupPtr[k]) {
+			if r < supEnd {
+				continue
+			}
+			bi := sym.SupOf[r]
+			if bPos == bStart || lblkSlab[bPos-1].I != bi {
+				lblkSlab[bPos] = LBlockInfo{I: bi}
+				bPos++
+			}
+			lrowSlab[rPos] = r
+			rPos++
+			cur := &lblkSlab[bPos-1]
+			cur.Rows = lrowSlab[rPos-len(cur.Rows)-1 : rPos : rPos]
+		}
+		if bPos > bStart {
+			s.LBlocks[k] = lblkSlab[bStart:bPos:bPos]
+		}
+	}
+
+	// U blocks: one ascending pass over all columns j; each U row r
+	// contributes column j to block (SupOf[r], SupOf[j]). Because
+	// columns of a supernode are consecutive and j ascends, each block
+	// row's entries arrive already grouped by J and each block's columns
+	// arrive ascending — within a block row the appends for one block
+	// finish before the next block starts, so per-row slab regions keep
+	// every block's columns contiguous. lastCol[K] stamps the last
+	// column recorded for block row K, deduplicating within a column.
+	// The first sweep counts blocks and columns per block row; the
+	// second fills the carved regions.
 	lastCol := make([]int, ns)
+	lastBlk := make([]int, ns)
+	cntBlk := make([]int, ns)
+	cntCol := make([]int, ns)
 	for k := range lastCol {
-		lastCol[k] = -1
+		lastCol[k], lastBlk[k] = -1, -1
 	}
 	for j := 0; j < sym.N; j++ {
 		bj := sym.SupOf[j]
@@ -105,26 +140,95 @@ func BuildStructure(sym *symbolic.Result) *Structure {
 				continue // diagonal block, or already recorded for j
 			}
 			lastCol[bk] = j
-			ubs := s.UBlocks[bk]
-			if n := len(ubs); n > 0 && ubs[n-1].J == bj {
-				ubs[n-1].Cols = append(ubs[n-1].Cols, j)
-			} else {
-				s.UBlocks[bk] = append(ubs, UBlockInfo{J: bj, Cols: []int{j}})
+			if lastBlk[bk] != bj {
+				lastBlk[bk] = bj
+				cntBlk[bk]++
 			}
+			cntCol[bk]++
 		}
 	}
-	// Reverse indexes for the triangular solves.
+	blkBase := prefixSum(cntBlk)
+	colBase := prefixSum(cntCol)
+	ublkSlab := make([]UBlockInfo, blkBase[ns])
+	ucolSlab := make([]int, colBase[ns])
+	blkFill := make([]int, ns)
+	colFill := make([]int, ns)
+	for k := range lastCol {
+		lastCol[k], lastBlk[k] = -1, -1
+	}
+	for j := 0; j < sym.N; j++ {
+		bj := sym.SupOf[j]
+		for _, r := range sym.UColRows(j) {
+			bk := sym.SupOf[r]
+			if bk == bj || lastCol[bk] == j {
+				continue
+			}
+			lastCol[bk] = j
+			if lastBlk[bk] != bj {
+				lastBlk[bk] = bj
+				c := colBase[bk] + colFill[bk]
+				ublkSlab[blkBase[bk]+blkFill[bk]] = UBlockInfo{J: bj, Cols: ucolSlab[c:c:colBase[bk+1]]}
+				blkFill[bk]++
+			}
+			ucolSlab[colBase[bk]+colFill[bk]] = j
+			colFill[bk]++
+			cur := &ublkSlab[blkBase[bk]+blkFill[bk]-1]
+			cur.Cols = cur.Cols[:len(cur.Cols)+1]
+		}
+	}
+	for k := 0; k < ns; k++ {
+		if blkFill[k] > 0 {
+			s.UBlocks[k] = ublkSlab[blkBase[k] : blkBase[k]+blkFill[k] : blkBase[k+1]]
+		}
+	}
+
+	// Reverse indexes for the triangular solves, also counted slabs.
 	s.RowL = make([][]int, ns)
 	s.ColU = make([][]int, ns)
+	cntRowL := make([]int, ns)
+	cntColU := make([]int, ns)
 	for j := 0; j < ns; j++ {
 		for _, lb := range s.LBlocks[j] {
-			s.RowL[lb.I] = append(s.RowL[lb.I], j)
+			cntRowL[lb.I]++
 		}
 		for _, ub := range s.UBlocks[j] {
-			s.ColU[ub.J] = append(s.ColU[ub.J], j)
+			cntColU[ub.J]++
+		}
+	}
+	rowLBase := prefixSum(cntRowL)
+	colUBase := prefixSum(cntColU)
+	rowLSlab := make([]int, rowLBase[ns])
+	colUSlab := make([]int, colUBase[ns])
+	fillRowL := make([]int, ns)
+	fillColU := make([]int, ns)
+	for j := 0; j < ns; j++ {
+		for _, lb := range s.LBlocks[j] {
+			rowLSlab[rowLBase[lb.I]+fillRowL[lb.I]] = j
+			fillRowL[lb.I]++
+		}
+		for _, ub := range s.UBlocks[j] {
+			colUSlab[colUBase[ub.J]+fillColU[ub.J]] = j
+			fillColU[ub.J]++
+		}
+	}
+	for k := 0; k < ns; k++ {
+		if cntRowL[k] > 0 {
+			s.RowL[k] = rowLSlab[rowLBase[k]:rowLBase[k+1]:rowLBase[k+1]]
+		}
+		if cntColU[k] > 0 {
+			s.ColU[k] = colUSlab[colUBase[k]:colUBase[k+1]:colUBase[k+1]]
 		}
 	}
 	return s
+}
+
+// prefixSum returns the exclusive prefix sums of xs, length len(xs)+1.
+func prefixSum(xs []int) []int {
+	ps := make([]int, len(xs)+1)
+	for i, x := range xs {
+		ps[i+1] = ps[i] + x
+	}
+	return ps
 }
 
 // SupWidth returns the number of columns of supernode K.

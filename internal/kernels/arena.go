@@ -1,0 +1,46 @@
+package kernels
+
+// Arena is a bump allocator for kernel scratch: one float64 slab and
+// one int slab, carved front to back, recycled with Reset. A hot path
+// that needs several related buffers (the Schur update's product tile,
+// packed U panel and index maps) carves them from one arena so they
+// land contiguously and the steady state performs no allocation at all
+// — growth only happens while the high-water mark is still rising, in
+// the un-annotated setup path outside the kernels.
+//
+// Carves stay valid after later carves grow the slab (the old backing
+// array is simply abandoned to the collector); only Reset invalidates
+// them.
+type Arena struct {
+	f64  []float64
+	fOff int
+	ints []int
+	iOff int
+}
+
+// Reset recycles every previous carve. The backing slabs are retained
+// at their high-water size.
+func (a *Arena) Reset() { a.fOff, a.iOff = 0, 0 }
+
+// F64 carves an uninitialized length-n float64 slice. Contents are
+// whatever the previous cycle left; callers overwrite before reading.
+func (a *Arena) F64(n int) []float64 {
+	if a.fOff+n > len(a.f64) {
+		a.f64 = make([]float64, 2*len(a.f64)+n)
+		a.fOff = 0
+	}
+	s := a.f64[a.fOff : a.fOff+n : a.fOff+n]
+	a.fOff += n
+	return s
+}
+
+// Ints carves an uninitialized length-n int slice.
+func (a *Arena) Ints(n int) []int {
+	if a.iOff+n > len(a.ints) {
+		a.ints = make([]int, 2*len(a.ints)+n)
+		a.iOff = 0
+	}
+	s := a.ints[a.iOff : a.iOff+n : a.iOff+n]
+	a.iOff += n
+	return s
+}

@@ -1,0 +1,410 @@
+package kernels
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The golden tests pin the blocked kernels against the scalar references
+// bitwise (Float64bits equality, so signed zeros and NaN payloads count)
+// on a shape grid that straddles every register-block boundary: fringe
+// rows, fringe columns, k = 0, single columns, and the paper's maxSuper
+// panel width of 24.
+
+var shapes = []int{0, 1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 24, 31}
+
+// rng is a splitmix64 generator: deterministic, seedable, no math/rand
+// dependency in test helpers.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// f64 returns a value in (-1, 1); roughly one in four is exactly zero so
+// the skip paths are exercised. Zeros are +0 only: the dense kernels'
+// bitwise contract is stated for non-(-0) data (a -0 target minus an
+// executed ±0 term flips to +0 where the scalar skip would keep it, and
+// the engines never produce -0 targets). The multi-RHS solve test
+// plants -0 explicitly, because there the skip is preserved exactly.
+func (r *rng) f64() float64 {
+	u := r.next()
+	if u%4 == 0 {
+		return 0
+	}
+	return float64(int64(u%2001)-1000) / 1024
+}
+
+func (r *rng) fill(x []float64) {
+	for i := range x {
+		x[i] = r.f64()
+	}
+}
+
+func bitsEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// underMode runs f with the process-global mode set to m, restoring the
+// previous mode after.
+func underMode(m Mode, f func()) {
+	prev := SetMode(m)
+	defer SetMode(prev)
+	f()
+}
+
+func TestModeSwap(t *testing.T) {
+	prev := SetMode(ModeScalar)
+	defer SetMode(prev)
+	if got := SetMode(ModeBlockedArena); got != ModeScalar {
+		t.Fatalf("SetMode returned %v, want ModeScalar", got)
+	}
+	if Active() != ModeBlockedArena {
+		t.Fatalf("Active() = %v, want ModeBlockedArena", Active())
+	}
+	if !ArenaScratch() {
+		t.Fatal("ArenaScratch() = false under ModeBlockedArena")
+	}
+	for _, m := range []Mode{ModeScalar, ModeBlocked, ModeBlockedArena} {
+		if m.String() == "unknown" {
+			t.Fatalf("mode %d has no name", m)
+		}
+	}
+}
+
+func TestMatMulGolden(t *testing.T) {
+	r := &rng{s: 1}
+	for _, m := range shapes {
+		for _, n := range shapes {
+			for _, k := range shapes {
+				a := make([]float64, m*k)
+				b := make([]float64, k*n)
+				r.fill(a)
+				r.fill(b)
+				want := make([]float64, m*n)
+				got := make([]float64, m*n)
+				r.fill(want) // dirty output: kernels must overwrite, not accumulate
+				copy(got, want)
+				underMode(ModeScalar, func() { MatMul(want, a, b, m, n, k) })
+				underMode(ModeBlocked, func() { MatMul(got, a, b, m, n, k) })
+				if i, ok := bitsEqual(want, got); !ok {
+					t.Fatalf("m=%d n=%d k=%d: element %d differs: scalar %x blocked %x",
+						m, n, k, i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestTrsmUpperRightGolden(t *testing.T) {
+	r := &rng{s: 2}
+	for _, nr := range shapes {
+		for _, nc := range shapes {
+			for _, pad := range []int{0, 3} {
+				ldd := nc + pad
+				d := make([]float64, nc*ldd)
+				r.fill(d)
+				for k := 0; k < nc; k++ {
+					d[k*ldd+k] = 1 + float64(k%7) // safe nonzero diagonal
+				}
+				want := make([]float64, nr*nc)
+				r.fill(want)
+				got := make([]float64, len(want))
+				copy(got, want)
+				underMode(ModeScalar, func() { TrsmUpperRight(want, nr, nc, d, ldd) })
+				underMode(ModeBlocked, func() { TrsmUpperRight(got, nr, nc, d, ldd) })
+				if i, ok := bitsEqual(want, got); !ok {
+					t.Fatalf("nr=%d nc=%d ldd=%d: element %d differs", nr, nc, ldd, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTrsmLowerUnitLeftGolden(t *testing.T) {
+	r := &rng{s: 3}
+	for _, nr := range shapes {
+		for _, nc := range shapes {
+			for _, pad := range []int{0, 3} {
+				ldd := nr + pad
+				d := make([]float64, nr*ldd)
+				r.fill(d)
+				want := make([]float64, nr*nc)
+				r.fill(want)
+				got := make([]float64, len(want))
+				copy(got, want)
+				underMode(ModeScalar, func() { TrsmLowerUnitLeft(want, nr, nc, d, ldd) })
+				underMode(ModeBlocked, func() { TrsmLowerUnitLeft(got, nr, nc, d, ldd) })
+				if i, ok := bitsEqual(want, got); !ok {
+					t.Fatalf("nr=%d nc=%d ldd=%d: element %d differs", nr, nc, ldd, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRank1TrailingGolden(t *testing.T) {
+	r := &rng{s: 4}
+	for _, n := range shapes {
+		for k := 0; k < n; k++ {
+			want := make([]float64, n*n)
+			r.fill(want)
+			got := make([]float64, len(want))
+			copy(got, want)
+			underMode(ModeScalar, func() { Rank1Trailing(want, n, k) })
+			underMode(ModeBlocked, func() { Rank1Trailing(got, n, k) })
+			if i, ok := bitsEqual(want, got); !ok {
+				t.Fatalf("n=%d k=%d: element %d differs", n, k, i)
+			}
+		}
+	}
+}
+
+func TestSpAxpyGolden(t *testing.T) {
+	r := &rng{s: 5}
+	const n = 64
+	for _, nnz := range shapes {
+		if nnz > n {
+			continue
+		}
+		ind := ascendingIndices(r, nnz, n)
+		val := make([]float64, nnz)
+		r.fill(val)
+		for _, alpha := range []float64{0.75, -0.25, 1} {
+			want := make([]float64, n)
+			r.fill(want)
+			got := make([]float64, n)
+			copy(got, want)
+			underMode(ModeScalar, func() { SpAxpy(want, ind, val, alpha) })
+			underMode(ModeBlocked, func() { SpAxpy(got, ind, val, alpha) })
+			if i, ok := bitsEqual(want, got); !ok {
+				t.Fatalf("nnz=%d alpha=%v: element %d differs", nnz, alpha, i)
+			}
+		}
+	}
+}
+
+func TestSpDotSubGolden(t *testing.T) {
+	r := &rng{s: 6}
+	const n = 64
+	x := make([]float64, n)
+	r.fill(x)
+	for _, nnz := range shapes {
+		if nnz > n {
+			continue
+		}
+		ind := ascendingIndices(r, nnz, n)
+		val := make([]float64, nnz)
+		r.fill(val)
+		s0 := r.f64()
+		var want, got float64
+		underMode(ModeScalar, func() { want = SpDotSub(s0, ind, val, x) })
+		underMode(ModeBlocked, func() { got = SpDotSub(s0, ind, val, x) })
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("nnz=%d: scalar %x blocked %x", nnz, math.Float64bits(want), math.Float64bits(got))
+		}
+	}
+}
+
+// ascendingIndices draws nnz distinct ascending indices in [0, n).
+func ascendingIndices(r *rng, nnz, n int) []int {
+	ind := make([]int, 0, nnz)
+	for i := 0; i < n && len(ind) < nnz; i++ {
+		if int(r.next()%uint64(n-i)) < nnz-len(ind) {
+			ind = append(ind, i)
+		}
+	}
+	return ind
+}
+
+// sparseTriangular builds a random sparse triangle in the column form
+// the solves consume. lower: strictly-lower entries only (unit diagonal
+// implied). upper: strictly-upper entries plus the diagonal stored last,
+// diagonal forced nonzero.
+func sparseTriangular(r *rng, n int, lower bool) (ptr, ind []int, val []float64) {
+	ptr = make([]int, n+1)
+	for j := 0; j < n; j++ {
+		ptr[j] = len(ind)
+		if lower {
+			for i := j + 1; i < n; i++ {
+				if r.next()%3 == 0 {
+					ind = append(ind, i)
+					val = append(val, r.f64())
+				}
+			}
+		} else {
+			for i := 0; i < j; i++ {
+				if r.next()%3 == 0 {
+					ind = append(ind, i)
+					val = append(val, r.f64())
+				}
+			}
+			ind = append(ind, j)
+			val = append(val, 1+float64(j%5))
+		}
+	}
+	ptr[n] = len(ind)
+	return ptr, ind, val
+}
+
+func TestSolveSparseMultiGolden(t *testing.T) {
+	r := &rng{s: 7}
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		lptr, lind, lval := sparseTriangular(r, n, true)
+		uptr, uind, uval := sparseTriangular(r, n, false)
+		for _, nrhs := range []int{1, 2, 3, 4, 5, 7, 8, 9, 12} {
+			want := make([]float64, n*nrhs)
+			r.fill(want)
+			// Plant exact zeros and negative zeros in whole quads and in
+			// single lanes so both the fused path and the per-vector
+			// fallback run.
+			for i := 0; i < len(want); i += 5 {
+				want[i] = 0
+			}
+			if len(want) > 3 {
+				want[3] = math.Copysign(0, -1)
+			}
+			got := make([]float64, len(want))
+			copy(got, want)
+			underMode(ModeScalar, func() {
+				SolveSparseLMulti(want, n, nrhs, lptr, lind, lval)
+				SolveSparseUMulti(want, n, nrhs, uptr, uind, uval)
+			})
+			underMode(ModeBlocked, func() {
+				SolveSparseLMulti(got, n, nrhs, lptr, lind, lval)
+				SolveSparseUMulti(got, n, nrhs, uptr, uind, uval)
+			})
+			if i, ok := bitsEqual(want, got); !ok {
+				t.Fatalf("n=%d nrhs=%d: element %d differs: scalar %x blocked %x",
+					n, nrhs, i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+			}
+		}
+	}
+}
+
+// TestConcurrentReadOnlyOperands drives the blocked kernels from many
+// goroutines sharing the read-only operands (the broadcast L and U
+// panels of the distributed engine) with private outputs; run under
+// -race this proves the kernels never write to their inputs.
+func TestConcurrentReadOnlyOperands(t *testing.T) {
+	prev := SetMode(ModeBlocked)
+	defer SetMode(prev)
+	r := &rng{s: 8}
+	const m, n, k = 17, 12, 8
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	d := make([]float64, n*n)
+	r.fill(a)
+	r.fill(b)
+	r.fill(d)
+	for i := 0; i < n; i++ {
+		d[i*n+i] = 2
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			gr := &rng{s: seed}
+			p := make([]float64, m*n)
+			bb := make([]float64, m*n)
+			gr.fill(bb)
+			for iter := 0; iter < 50; iter++ {
+				MatMul(p, a, b, m, n, k)
+				TrsmUpperRight(bb, m, n, d, n)
+			}
+		}(uint64(g) + 100)
+	}
+	wg.Wait()
+}
+
+func TestArena(t *testing.T) {
+	var a Arena
+	f1 := a.F64(8)
+	i1 := a.Ints(4)
+	for q := range f1 {
+		f1[q] = float64(q)
+	}
+	for q := range i1 {
+		i1[q] = q
+	}
+	// A growing carve abandons the old slab; earlier carves stay valid.
+	f2 := a.F64(1 << 12)
+	for q := range f1 {
+		if f1[q] != float64(q) {
+			t.Fatalf("f1[%d] clobbered by growth", q)
+		}
+	}
+	_ = f2
+	// Carves are capacity-clamped: appending to one cannot bleed into
+	// the next carve's region.
+	f3 := a.F64(4)
+	f4 := a.F64(4)
+	f4[0] = 99
+	f3 = append(f3, -1)
+	if f4[0] != 99 {
+		t.Fatal("append to a carve bled into the following carve")
+	}
+	_ = f3
+	// Reset recycles the slab: the next carve reuses the same backing.
+	a.Reset()
+	f5 := a.F64(4)
+	f5[0] = 7
+	if a.fOff != 4 || a.iOff != 0 {
+		t.Fatalf("offsets after Reset+carve: fOff=%d iOff=%d", a.fOff, a.iOff)
+	}
+}
+
+// Zero-allocation proof for the hot kernels in every mode (arena growth
+// happens only while the high-water mark rises, so a warmed arena is
+// also allocation-free).
+func TestKernelsZeroAlloc(t *testing.T) {
+	r := &rng{s: 9}
+	const m, n, k = 24, 24, 24
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	p := make([]float64, m*n)
+	d := make([]float64, n*n)
+	w := make([]float64, 64)
+	ind := ascendingIndices(r, 16, 64)
+	val := make([]float64, 16)
+	r.fill(a)
+	r.fill(b)
+	r.fill(d)
+	r.fill(val)
+	for i := 0; i < n; i++ {
+		d[i*n+i] = 2
+	}
+	lptr, lind, lval := sparseTriangular(r, 32, true)
+	uptr, uind, uval := sparseTriangular(r, 32, false)
+	x := make([]float64, 32*8)
+
+	for _, mode := range []Mode{ModeScalar, ModeBlocked, ModeBlockedArena} {
+		underMode(mode, func() {
+			allocs := testing.AllocsPerRun(10, func() {
+				MatMul(p, a, b, m, n, k)
+				TrsmUpperRight(p, m, n, d, n)
+				TrsmLowerUnitLeft(p, m, n, d, m)
+				Rank1Trailing(d, n, 3)
+				SpAxpy(w, ind, val, 0.5)
+				_ = SpDotSub(1, ind, val, w)
+				r.fill(x)
+				SolveSparseLMulti(x, 32, 8, lptr, lind, lval)
+				SolveSparseUMulti(x, 32, 8, uptr, uind, uval)
+			})
+			if allocs != 0 {
+				t.Errorf("mode %v: %v allocs/op, want 0", mode, allocs)
+			}
+		})
+	}
+}

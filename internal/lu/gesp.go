@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"gesp/internal/kernels"
 	"gesp/internal/sparse"
 	"gesp/internal/symbolic"
 )
@@ -115,6 +116,8 @@ func Factorize(a *sparse.CSC, sym *symbolic.Result, opts Options) (*Factors, err
 		f.ColAMax[j] = cmax
 
 		// Left-looking updates: U rows ascending is a topological order.
+		// Each update is one sparse-column gather-scatter, the panel
+		// factor's hot loop, run through the shared kernel.
 		urows := sym.UColRows(j)
 		for p := sym.UPtr[j]; p < sym.UPtr[j+1]-1; p++ { // skip diagonal (last)
 			k := sym.UInd[p]
@@ -123,9 +126,8 @@ func Factorize(a *sparse.CSC, sym *symbolic.Result, opts Options) (*Factors, err
 			if ukj == 0 {
 				continue
 			}
-			for q := sym.LPtr[k]; q < sym.LPtr[k+1]; q++ {
-				w[sym.LInd[q]] -= f.LVal[q] * ukj
-			}
+			lo, hi := sym.LPtr[k], sym.LPtr[k+1]
+			kernels.SpAxpy(w, sym.LInd[lo:hi], f.LVal[lo:hi], ukj)
 		}
 
 		// Pivot with the static-pivoting fix.
@@ -178,9 +180,8 @@ func (f *Factors) SolveL(x []float64) {
 		if xj == 0 {
 			continue
 		}
-		for q := sym.LPtr[j]; q < sym.LPtr[j+1]; q++ {
-			x[sym.LInd[q]] -= f.LVal[q] * xj
-		}
+		lo, hi := sym.LPtr[j], sym.LPtr[j+1]
+		kernels.SpAxpy(x, sym.LInd[lo:hi], f.LVal[lo:hi], xj)
 	}
 }
 
@@ -196,9 +197,8 @@ func (f *Factors) SolveU(x []float64) {
 		if xj == 0 {
 			continue
 		}
-		for q := sym.UPtr[j]; q < hi; q++ {
-			x[sym.UInd[q]] -= f.UVal[q] * xj
-		}
+		lo := sym.UPtr[j]
+		kernels.SpAxpy(x, sym.UInd[lo:hi], f.UVal[lo:hi], xj)
 	}
 }
 
@@ -215,11 +215,8 @@ func (f *Factors) Solve(x []float64) {
 func (f *Factors) SolveLT(x []float64) {
 	sym := f.Sym
 	for j := sym.N - 1; j >= 0; j-- {
-		s := x[j]
-		for q := sym.LPtr[j]; q < sym.LPtr[j+1]; q++ {
-			s -= f.LVal[q] * x[sym.LInd[q]]
-		}
-		x[j] = s
+		lo, hi := sym.LPtr[j], sym.LPtr[j+1]
+		x[j] = kernels.SpDotSub(x[j], sym.LInd[lo:hi], f.LVal[lo:hi], x)
 	}
 }
 
@@ -229,11 +226,8 @@ func (f *Factors) SolveLT(x []float64) {
 func (f *Factors) SolveUT(x []float64) {
 	sym := f.Sym
 	for j := 0; j < sym.N; j++ {
-		hi := sym.UPtr[j+1] - 1
-		s := x[j]
-		for q := sym.UPtr[j]; q < hi; q++ {
-			s -= f.UVal[q] * x[sym.UInd[q]]
-		}
+		lo, hi := sym.UPtr[j], sym.UPtr[j+1]-1
+		s := kernels.SpDotSub(x[j], sym.UInd[lo:hi], f.UVal[lo:hi], x)
 		x[j] = s / f.UVal[hi]
 	}
 }

@@ -1,12 +1,16 @@
 package lu
 
+import "gesp/internal/kernels"
+
 // Multi-RHS triangular solves. The serving layer batches queued solve
 // requests against one factorization into a single column-blocked sweep:
 // each factor column's indices and values are loaded once and applied to
 // every right-hand side in the block, instead of re-walking L and U per
 // RHS as repeated Solve calls would. Per-RHS arithmetic is identical to
 // SolveL/SolveU (same updates in the same order), so each column of the
-// result is bitwise equal to the corresponding single-RHS solve.
+// result is bitwise equal to the corresponding single-RHS solve — the
+// register-blocked kernels preserve that contract, including the
+// per-RHS zero-pivot skip (see kernels.SolveSparseLMulti).
 
 // rhsBlock caps how many right-hand sides one sweep carries. The block
 // of vectors must stay cache-resident while a factor column streams
@@ -22,61 +26,14 @@ const rhsBlock = 8
 //gesp:hotpath
 func (f *Factors) SolveMulti(x []float64, nrhs int) {
 	n := f.Sym.N
+	sym := f.Sym
 	for r0 := 0; r0 < nrhs; r0 += rhsBlock {
 		b := nrhs - r0
 		if b > rhsBlock {
 			b = rhsBlock
 		}
 		blk := x[r0*n : (r0+b)*n]
-		f.solveLMulti(blk, b)
-		f.solveUMulti(blk, b)
-	}
-}
-
-// solveLMulti applies L⁻¹ to b packed vectors: forward substitution with
-// the factor column loaded once per block rather than once per RHS.
-//
-//gesp:hotpath
-func (f *Factors) solveLMulti(x []float64, b int) {
-	sym := f.Sym
-	n := sym.N
-	for j := 0; j < n; j++ {
-		lo, hi := sym.LPtr[j], sym.LPtr[j+1]
-		if lo == hi {
-			continue
-		}
-		for r := 0; r < b; r++ {
-			base := r * n
-			xj := x[base+j]
-			if xj == 0 {
-				continue
-			}
-			for q := lo; q < hi; q++ {
-				x[base+sym.LInd[q]] -= f.LVal[q] * xj
-			}
-		}
-	}
-}
-
-// solveUMulti applies U⁻¹ to b packed vectors by backward substitution.
-//
-//gesp:hotpath
-func (f *Factors) solveUMulti(x []float64, b int) {
-	sym := f.Sym
-	n := sym.N
-	for j := n - 1; j >= 0; j-- {
-		lo, hi := sym.UPtr[j], sym.UPtr[j+1]-1
-		d := f.UVal[hi] // diagonal is the last entry of the column
-		for r := 0; r < b; r++ {
-			base := r * n
-			xj := x[base+j] / d
-			x[base+j] = xj
-			if xj == 0 {
-				continue
-			}
-			for q := lo; q < hi; q++ {
-				x[base+sym.UInd[q]] -= f.UVal[q] * xj
-			}
-		}
+		kernels.SolveSparseLMulti(blk, n, b, sym.LPtr, sym.LInd, f.LVal)
+		kernels.SolveSparseUMulti(blk, n, b, sym.UPtr, sym.UInd, f.UVal)
 	}
 }

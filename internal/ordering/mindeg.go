@@ -80,14 +80,20 @@ func Order(a *sparse.CSC, m Method) []int {
 func MinimumDegree(p *sparse.Pattern) []int {
 	n := p.N
 	// Quotient graph state. Vertex ids double as element ids once
-	// eliminated.
+	// eliminated. Variable-neighbour lists only ever compact in place, so
+	// they are carved from one contiguous slab (a copy of the pattern)
+	// instead of n separate heap slices: adjacent vertices' lists stay
+	// adjacent in memory, which is where the degree-update sweeps spend
+	// their time.
 	adjn := make([][]int, n) // variable neighbours
 	adje := make([][]int, n) // element neighbours
 	boundary := make([][]int, n)
 	eliminated := make([]bool, n)
 	absorbedInto := make([]int, n) // -1, or the element this one merged into
+	adjSlab := make([]int, len(p.Ind))
+	copy(adjSlab, p.Ind)
 	for v := 0; v < n; v++ {
-		adjn[v] = append([]int(nil), p.Ind[p.Ptr[v]:p.Ptr[v+1]]...)
+		adjn[v] = adjSlab[p.Ptr[v]:p.Ptr[v+1]:p.Ptr[v+1]]
 		absorbedInto[v] = -1
 	}
 

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Name string
+	Kind string // "ns_per_op" | "allocs_per_op" | "missing"
+	Old  float64
+	New  float64
+	// Detail is a rendered one-line description.
+	Detail string
+}
+
+// Compare gates the new snapshot against the old baseline and returns
+// every violation, sorted by entry name:
+//
+//   - a hot-path entry present in old but absent from new (coverage: a
+//     renamed or dropped benchmark must move the baseline explicitly);
+//   - any increase of allocs/op on a hot-path entry (machine-independent,
+//     checked even in allocsOnly mode);
+//   - ns/op above old·(1+tol) on a hot-path entry, unless allocsOnly is
+//     set (wall time is only comparable between same-machine snapshots).
+//
+// Entries new in the snapshot but absent from the baseline are not
+// violations — they are the normal way coverage grows.
+func Compare(old, new *File, tol float64, allocsOnly bool) []Regression {
+	newBy := make(map[string]Entry, len(new.Entries))
+	for _, e := range new.Entries {
+		newBy[e.Name] = e
+	}
+	var regs []Regression
+	for _, o := range old.Entries {
+		if !o.HotPath {
+			continue
+		}
+		n, ok := newBy[o.Name]
+		if !ok {
+			regs = append(regs, Regression{
+				Name: o.Name, Kind: "missing",
+				Detail: fmt.Sprintf("%s: hot-path baseline entry missing from new snapshot", o.Name),
+			})
+			continue
+		}
+		if o.AllocsPerOp >= 0 && n.AllocsPerOp > o.AllocsPerOp {
+			regs = append(regs, Regression{
+				Name: o.Name, Kind: "allocs_per_op", Old: o.AllocsPerOp, New: n.AllocsPerOp,
+				Detail: fmt.Sprintf("%s: allocs/op %.1f -> %.1f", o.Name, o.AllocsPerOp, n.AllocsPerOp),
+			})
+		}
+		if !allocsOnly && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+tol) {
+			regs = append(regs, Regression{
+				Name: o.Name, Kind: "ns_per_op", Old: o.NsPerOp, New: n.NsPerOp,
+				Detail: fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, tolerance %.1f%%)",
+					o.Name, o.NsPerOp, n.NsPerOp, 100*(n.NsPerOp/o.NsPerOp-1), 100*tol),
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Kind < regs[j].Kind
+	})
+	return regs
+}

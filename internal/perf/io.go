@@ -1,0 +1,34 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteFile writes the snapshot as indented JSON (stable field order,
+// trailing newline, so committed baselines diff cleanly).
+func WriteFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encode %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a snapshot, refusing schema mismatches.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema %d, this build reads %d",
+			path, f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}

@@ -76,6 +76,28 @@ type task struct {
 	targets []updTarget // update tasks only
 }
 
+// succArena carves the tasks' successor lists from shared chunks
+// instead of one heap allocation per task: the DAG build touches every
+// block of the static structure, and per-task slice headers plus
+// allocator bookkeeping dominated its profile. Carves are three-index
+// slices (len 0, fixed cap), so an append past the carve can never
+// bleed into a neighbour; a full chunk is simply replaced by a larger
+// one (previous carves keep the old backing array alive).
+type succArena struct {
+	buf []*task
+	off int
+}
+
+func (a *succArena) carve(n int) []*task {
+	if a.off+n > len(a.buf) {
+		a.buf = make([]*task, 2*len(a.buf)+n)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off : a.off+n]
+	a.off += n
+	return s
+}
+
 // graph is the fully materialized task DAG over a block grid.
 type graph struct {
 	st      *dist.Structure
@@ -135,13 +157,19 @@ func buildGraph(st *dist.Structure, grid *dist.BlockGrid, sym *symbolic.Result) 
 		t.kind, t.k, t.idx = kind, k, idx
 		return t
 	}
+	// Successor lists come from the shared arena, seeded with the exact
+	// fixed-population demand (factor fan-out plus one slot per panel
+	// solve); update-task lists carve from the same chunks as they are
+	// sized below.
+	sa := succArena{buf: make([]*task, 2*(nL+nU)+ns)}
 	for k := 0; k < ns; k++ {
 		g.factor[k] = alloc(taskFactor, k, 0)
-		g.factor[k].succ = make([]*task, 0, len(st.LBlocks[k])+len(st.UBlocks[k]))
+		g.factor[k].succ = sa.carve(len(st.LBlocks[k]) + len(st.UBlocks[k]))
 		g.lsolve[k] = make([]*task, len(st.LBlocks[k]))
 		for i := range st.LBlocks[k] {
 			t := alloc(taskLSolve, k, i)
 			t.deps.Store(1) // factor(k)
+			t.succ = sa.carve(1) // at most its fused update task
 			g.lsolve[k][i] = t
 			g.factor[k].succ = append(g.factor[k].succ, t)
 		}
@@ -149,6 +177,7 @@ func buildGraph(st *dist.Structure, grid *dist.BlockGrid, sym *symbolic.Result) 
 		for j := range st.UBlocks[k] {
 			t := alloc(taskUSolve, k, j)
 			t.deps.Store(1)
+			t.succ = sa.carve(1) // at most the urow milestone
 			g.usolve[k][j] = t
 			g.factor[k].succ = append(g.factor[k].succ, t)
 		}
@@ -181,7 +210,7 @@ func buildGraph(st *dist.Structure, grid *dist.BlockGrid, sym *symbolic.Result) 
 		nextUpd++
 		urow.kind, urow.k = taskURow, k
 		urow.deps.Store(int32(len(g.usolve[k])))
-		urow.succ = make([]*task, 0, len(st.LBlocks[k]))
+		urow.succ = sa.carve(len(st.LBlocks[k]))
 		for _, ut := range g.usolve[k] {
 			ut.succ = append(ut.succ, urow)
 		}
@@ -201,7 +230,7 @@ func buildGraph(st *dist.Structure, grid *dist.BlockGrid, sym *symbolic.Result) 
 			nextUpd++
 			t.kind, t.k, t.idx, t.targets = taskUpdate, k, li, targets
 			t.deps.Store(2) // lsolve(k,li) and urow(k)
-			t.succ = make([]*task, 0, len(targets))
+			t.succ = sa.carve(len(targets))
 			g.lsolve[k][li].succ = append(g.lsolve[k][li].succ, t)
 			urow.succ = append(urow.succ, t)
 			for _, ut := range targets {

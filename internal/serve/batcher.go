@@ -35,6 +35,13 @@ type batcher struct {
 	mu      sync.Mutex
 	queue   []solveReq
 	running bool
+
+	// Cutter-private scratch, reused across cuts. The cutter is
+	// single-flight (run exits before running flips false), so one set of
+	// slots per batcher is race-free; steady-state cutting then allocates
+	// nothing beyond what the backend itself needs.
+	batchBuf []solveReq
+	bsBuf    [][]float64
 }
 
 // solveBackend is what the batcher needs from core.Solver; an interface
@@ -136,7 +143,10 @@ func (b *batcher) run() {
 		if k > b.maxBatch {
 			k = b.maxBatch
 		}
-		batch := make([]solveReq, k)
+		if cap(b.batchBuf) < k {
+			b.batchBuf = make([]solveReq, b.maxBatch)
+		}
+		batch := b.batchBuf[:k]
 		copy(batch, b.queue[:k])
 		rest := copy(b.queue, b.queue[k:])
 		for i := rest; i < len(b.queue); i++ {
@@ -147,16 +157,27 @@ func (b *batcher) run() {
 
 		b.m.queueDepth.Add(-int64(k))
 		b.exec(batch)
+		for i := range batch {
+			batch[i] = solveReq{} // release references until the next cut
+		}
 	}
 }
 
 // exec solves one batch and fans the results (or the shared error) back
 // out to the waiting submitters.
 func (b *batcher) exec(batch []solveReq) {
-	bs := make([][]float64, len(batch))
+	if cap(b.bsBuf) < len(batch) {
+		b.bsBuf = make([][]float64, b.maxBatch)
+	}
+	bs := b.bsBuf[:len(batch)]
 	for i := range batch {
 		bs[i] = batch[i].b
 	}
+	defer func() {
+		for i := range bs {
+			bs[i] = nil
+		}
+	}()
 	t0 := time.Now()
 	for i := range batch {
 		b.m.observePhase(PhaseQueue, t0.Sub(batch[i].enq))

@@ -1,0 +1,84 @@
+package superlu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gesp/internal/kernels"
+	"gesp/internal/lu"
+)
+
+// TestKernelModesBitIdentical is the engine-level statement of the
+// kernel campaign's bit-exactness contract: the scalar column
+// factorization and the serial blocked engine each produce
+// fingerprint-identical factors under every kernel mode, and the
+// batched multi-RHS solve stays bitwise equal to repeated single-RHS
+// solves in every mode.
+func TestKernelModesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a, sym := randomSystem(rng, 120, 0.06)
+	modes := []kernels.Mode{kernels.ModeScalar, kernels.ModeBlocked, kernels.ModeBlockedArena}
+
+	factorUnder := func(m kernels.Mode, engine func() (*lu.Factors, error)) *lu.Factors {
+		prev := kernels.SetMode(m)
+		defer kernels.SetMode(prev)
+		f, err := engine()
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		return f
+	}
+
+	var colFP, blkFP uint64
+	for i, m := range modes {
+		col := factorUnder(m, func() (*lu.Factors, error) {
+			return lu.Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+		})
+		blk := factorUnder(m, func() (*lu.Factors, error) {
+			return Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+		})
+		if i == 0 {
+			colFP, blkFP = col.Fingerprint(), blk.Fingerprint()
+			continue
+		}
+		if fp := col.Fingerprint(); fp != colFP {
+			t.Errorf("lu.Factorize under %v: fingerprint %x, scalar mode gave %x", m, fp, colFP)
+		}
+		if fp := blk.Fingerprint(); fp != blkFP {
+			t.Errorf("superlu.Factorize under %v: fingerprint %x, scalar mode gave %x", m, fp, blkFP)
+		}
+	}
+
+	// Multi-RHS solve: bitwise equal to single-RHS solves, per mode.
+	f, err := Factorize(a, sym, lu.Options{ReplaceTinyPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sym.N
+	const nrhs = 11
+	rhs := make([]float64, n*nrhs)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+		if i%7 == 0 {
+			rhs[i] = 0
+		}
+	}
+	for _, m := range modes {
+		prev := kernels.SetMode(m)
+		multi := make([]float64, len(rhs))
+		copy(multi, rhs)
+		f.SolveMulti(multi, nrhs)
+		for r := 0; r < nrhs; r++ {
+			one := make([]float64, n)
+			copy(one, rhs[r*n:(r+1)*n])
+			f.Solve(one)
+			for i := range one {
+				if math.Float64bits(one[i]) != math.Float64bits(multi[r*n+i]) {
+					t.Fatalf("mode %v: SolveMulti rhs %d element %d differs from Solve", m, r, i)
+				}
+			}
+		}
+		kernels.SetMode(prev)
+	}
+}
