@@ -56,16 +56,51 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("parsing want comments in %s: %v", pkg, err)
 		}
-		for _, d := range diags {
-			pos := p.Fset.Position(d.Pos)
-			if !claim(wants, pos, d.Message) {
-				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
-			}
+		check(t, p.Fset, diags, wants)
+	}
+}
+
+// RunProgram loads the fixture packages (plus anything they import from
+// testdata/src) into one program, applies the whole-program analyzer
+// once, and checks its diagnostics against the want comments of every
+// loaded fixture file.
+func RunProgram(t *testing.T, testdata string, a *analysis.ProgramAnalyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join(testdata, "src"), nil)
+	for _, pkg := range pkgs {
+		if _, err := loader.Load(pkg); err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
 		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
-			}
+	}
+	prog := analysis.NewProgram(loader.Fset(), loader.Loaded())
+	diags, err := analysis.RunProgramAnalyzer(a, prog)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var wants []*want
+	for _, p := range prog.Pkgs {
+		w, err := collectWants(p)
+		if err != nil {
+			t.Fatalf("parsing want comments in %s: %v", p.Path, err)
+		}
+		wants = append(wants, w...)
+	}
+	check(t, loader.Fset(), diags, wants)
+}
+
+// check claims each diagnostic against the wants and reports both
+// unexpected diagnostics and unmatched wants.
+func check(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
 		}
 	}
 }

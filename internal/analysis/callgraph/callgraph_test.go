@@ -1,0 +1,101 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gesp/internal/analysis"
+	"gesp/internal/analysis/callgraph"
+)
+
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join("testdata", "src"), nil)
+	if _, err := loader.Load("cgfix"); err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	prog := analysis.NewProgram(loader.Fset(), loader.Loaded())
+	return callgraph.Of(prog)
+}
+
+// edges returns callee name -> kind for every out-edge of the named
+// node, failing the test if the node does not exist.
+func edges(t *testing.T, g *callgraph.Graph, from string) map[string]callgraph.Kind {
+	t.Helper()
+	n := g.Lookup(from)
+	if n == nil {
+		t.Fatalf("no node named %q", from)
+	}
+	out := make(map[string]callgraph.Kind)
+	for _, e := range n.Out {
+		out[e.Callee.Name()] = e.Kind
+	}
+	return out
+}
+
+func wantEdge(t *testing.T, got map[string]callgraph.Kind, from, to string, kind callgraph.Kind) {
+	t.Helper()
+	k, ok := got[to]
+	if !ok {
+		t.Errorf("missing edge %s -> %s (have %v)", from, to, got)
+		return
+	}
+	if k != kind {
+		t.Errorf("edge %s -> %s has kind %v, want %v", from, to, k, kind)
+	}
+}
+
+func TestInterfaceDispatchCHA(t *testing.T) {
+	g := buildFixture(t)
+	got := edges(t, g, "cgfix.Total")
+	wantEdge(t, got, "cgfix.Total", "shapes.(Circle).Area", callgraph.Interface)
+	wantEdge(t, got, "cgfix.Total", "shapes.(*Square).Area", callgraph.Interface)
+}
+
+func TestClosureArgumentDispatch(t *testing.T) {
+	g := buildFixture(t)
+	use := edges(t, g, "cgfix.UseEach")
+	wantEdge(t, use, "cgfix.UseEach", "cgfix.Each", callgraph.Static)
+
+	// Each's fn(x) dispatches to every address-taken func(int): the
+	// closure from UseEach and the named AddSink from UseEachNamed.
+	each := edges(t, g, "cgfix.Each")
+	wantEdge(t, each, "cgfix.Each", "cgfix.UseEach$1", callgraph.Dynamic)
+	wantEdge(t, each, "cgfix.Each", "cgfix.AddSink", callgraph.Dynamic)
+}
+
+func TestFunctionFieldDispatch(t *testing.T) {
+	g := buildFixture(t)
+	got := edges(t, g, "cgfix.Fire")
+	wantEdge(t, got, "cgfix.Fire", "cgfix.codeA", callgraph.Dynamic)
+	wantEdge(t, got, "cgfix.Fire", "cgfix.codeB", callgraph.Dynamic)
+}
+
+func TestMethodValueDispatch(t *testing.T) {
+	g := buildFixture(t)
+	got := edges(t, g, "cgfix.MethodValue")
+	wantEdge(t, got, "cgfix.MethodValue", "shapes.(Circle).Area", callgraph.Dynamic)
+}
+
+func TestNoSpuriousEdges(t *testing.T) {
+	g := buildFixture(t)
+	// Fire calls only func() int values: the method value (func()
+	// float64) and func(int) pool entries must not leak in.
+	got := edges(t, g, "cgfix.Fire")
+	for _, bad := range []string{"shapes.(Circle).Area", "cgfix.AddSink", "cgfix.UseEach$1"} {
+		if _, ok := got[bad]; ok {
+			t.Errorf("spurious edge cgfix.Fire -> %s", bad)
+		}
+	}
+	// A conversion is not a call: shapes.(*Square).Area has exactly the
+	// interface-dispatch caller.
+	sq := g.Lookup("shapes.(*Square).Area")
+	if sq == nil {
+		t.Fatal("no node for shapes.(*Square).Area")
+	}
+	for _, e := range sq.In {
+		if e.Caller.Name() != "cgfix.Total" {
+			t.Errorf("unexpected caller of (*Square).Area: %s", e.Caller.Name())
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package cgfix exercises every call shape the graph builder must
+// resolve: interface dispatch, method values, closures passed as
+// arguments, function-typed struct fields, and address-taken functions
+// called through variables.
+package cgfix
+
+import "shapes"
+
+// Total dispatches through the Shape interface: CHA edges to every
+// implementation in the program.
+func Total(ss []shapes.Shape) float64 {
+	t := 0.0
+	for _, s := range ss {
+		t += s.Area()
+	}
+	return t
+}
+
+// Each calls through a function-typed parameter: dynamic edges to every
+// address-taken func(int) in the program.
+func Each(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+var sink int
+
+// AddSink is address-taken in UseEachNamed, so it joins the dynamic
+// dispatch pool for func(int) calls.
+func AddSink(x int) { sink += x }
+
+// UseEach passes a closure into Each.
+func UseEach(xs []int) {
+	Each(xs, func(x int) { sink += x })
+}
+
+// UseEachNamed passes a named function into Each.
+func UseEachNamed(xs []int) {
+	Each(xs, AddSink)
+}
+
+// handler carries a function-typed field.
+type handler struct {
+	cb func() int
+}
+
+func codeA() int { return 1 }
+func codeB() int { return 2 }
+
+// NewHandler stores codeA in a function-typed field (address-taken).
+func NewHandler() handler { return handler{cb: codeA} }
+
+// TakeB address-takes codeB through a local variable.
+func TakeB() func() int {
+	f := codeB
+	return f
+}
+
+// Fire calls through the function-typed field: dynamic edges to every
+// address-taken func() int (codeA and codeB).
+func Fire(h handler) int {
+	return h.cb()
+}
+
+// MethodValue binds a method value and calls it through a variable:
+// a dynamic edge back to the bound method.
+func MethodValue(c shapes.Circle) float64 {
+	area := c.Area
+	return area()
+}

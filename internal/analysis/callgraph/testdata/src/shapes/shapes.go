@@ -1,0 +1,17 @@
+package shapes
+
+// Shape is dispatched through an interface in the cgfix fixture; the
+// call graph must add CHA edges to both implementations below.
+type Shape interface{ Area() float64 }
+
+// Circle implements Shape with a value receiver: both Circle and
+// *Circle satisfy the interface.
+type Circle struct{ R float64 }
+
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+// Square implements Shape with a pointer receiver: only *Square
+// satisfies the interface.
+type Square struct{ S float64 }
+
+func (s *Square) Area() float64 { return s.S * s.S }

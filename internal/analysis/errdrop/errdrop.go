@@ -21,10 +21,16 @@
 //     Write*/WriteString methods of those types — both never fail;
 //   - sites annotated //gesp:errok on (or directly above) the call, or
 //     inside a function whose doc comment carries //gesp:errok.
+//
+// A waiver must carry a reason — inline after the directive token, or
+// in an adjacent plain comment (doc-comment prose for the function
+// form). A bare //gesp:errok still silences the drop but is itself
+// reported.
 package errdrop
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"gesp/internal/analysis"
@@ -41,9 +47,29 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		dirs := analysis.FileDirectives(pass.Fset, f)
+		// A waiver must say why. Bare //gesp:errok still silences the
+		// drop (so one site yields one diagnostic), but the waiver
+		// itself is reported — deduped per directive, and only when it
+		// is actually used to discard an error.
+		bare := make(map[token.Pos]token.Pos)
 		exempt := func(pos ast.Node) bool {
-			return dirs.At(pos.Pos(), "errok") ||
-				analysis.EnclosingFuncHasDirective(f, pos.Pos(), "errok")
+			if dir, ok := dirs.Find(pos.Pos(), "errok"); ok {
+				if !dirs.Justified(dir) {
+					if _, seen := bare[dir.Pos]; !seen {
+						bare[dir.Pos] = pos.Pos()
+					}
+				}
+				return true
+			}
+			if fd, ok := analysis.EnclosingFuncDirective(f, pos.Pos(), "errok"); ok {
+				if !analysis.FuncDirectiveJustified(fd, "errok") {
+					if _, seen := bare[fd.Pos()]; !seen {
+						bare[fd.Pos()] = fd.Pos()
+					}
+				}
+				return true
+			}
+			return false
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch st := n.(type) {
@@ -60,6 +86,10 @@ func run(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		for _, at := range bare { //gesp:unordered
+			pass.Reportf(at, "//gesp:errok without justification; "+
+				"say why the dropped error is safe, inline or on the line above")
+		}
 	}
 	return nil
 }

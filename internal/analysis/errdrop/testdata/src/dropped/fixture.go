@@ -36,15 +36,28 @@ func blankAssigned() {
 }
 
 func waived() {
-	//gesp:errok
+	//gesp:errok probe call; the caller re-checks the result later
 	_ = fallible()
-	fallible() //gesp:errok
+	fallible() //gesp:errok best-effort cleanup on the exit path
 }
 
+// wholeFuncWaived documents why every drop inside is safe: all calls
+// here are best-effort logging.
+//
 //gesp:errok
 func wholeFuncWaived() {
 	fallible()
 	_ = fallible()
+}
+
+func bareWaived() {
+	//gesp:errok
+	_ = fallible() // want `//gesp:errok without justification`
+}
+
+//gesp:errok
+func bareFuncWaived() { // want `//gesp:errok without justification`
+	fallible()
 }
 
 func memWriters() {

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"gesp/internal/analysis/analysistest"
+	"gesp/internal/analysis/guardedby"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "gfix")
+}

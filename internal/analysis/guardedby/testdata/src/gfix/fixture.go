@@ -1,0 +1,114 @@
+// Package gfix exercises guardedby: lock-held tracking across defers,
+// early returns, and branches; //gesp:holds helper contracts; waiver
+// justification; and mixed atomic/plain field access.
+package gfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	//gesp:guardedby:mu
+	n int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `c\.n is //gesp:guardedby:mu, but c\.mu is not held here`
+}
+
+func (c *counter) DeferOK() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// EarlyReturn must not poison the fall-through path: the unlock inside
+// the terminating branch leaves the lock held below.
+func (c *counter) EarlyReturn(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// BranchyUnlock releases on one non-terminating branch, so the merged
+// state below is unlocked.
+func (c *counter) BranchyUnlock(flip bool) {
+	c.mu.Lock()
+	if flip {
+		c.mu.Unlock()
+	}
+	c.n++ // want `c\.n is //gesp:guardedby:mu, but c\.mu is not held here`
+	_ = flip
+}
+
+// bump runs under the caller's lock.
+//
+//gesp:holds:c.mu
+func (c *counter) bump() { c.n++ }
+
+func (c *counter) UseBumpLocked() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+func (c *counter) UseBumpUnlocked() {
+	c.bump() // want `bump declares //gesp:holds:c\.mu, but c\.mu is not held at this call`
+}
+
+// NewCounter may touch fields plainly: the value has not escaped yet.
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// Snapshot is waived with a reason: silent.
+func (c *counter) Snapshot() int {
+	return c.n //gesp:unsync read-only snapshot taken before the workers start
+}
+
+func (c *counter) BareWaiver() int {
+	//gesp:unsync
+	return c.n // want `//gesp:unsync without justification`
+}
+
+type rw struct {
+	mu sync.RWMutex
+	//gesp:guardedby:mu
+	m map[string]int
+}
+
+// Get holds the read lock: RLock counts as held.
+func (r *rw) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+type broken struct {
+	//gesp:guardedby:lock
+	x int // want `//gesp:guardedby:lock names no sibling sync\.Mutex or sync\.RWMutex field`
+}
+
+type stats struct {
+	hits int64
+}
+
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *stats) Dump() int64 {
+	return s.hits // want `s\.hits is updated through sync/atomic elsewhere but accessed plainly here`
+}

@@ -1,0 +1,60 @@
+package hotallocip_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gesp/internal/analysis"
+	"gesp/internal/analysis/analysistest"
+	"gesp/internal/analysis/hotallocip"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), hotallocip.Analyzer, "hot")
+}
+
+// plantedGrow mirrors the fixture's deliberately-planted allocating
+// callee (testdata/src/hutil.Grow), so the same code shape is convicted
+// both statically (the want expectations above) and dynamically here.
+func plantedGrow(s []int, v int) []int { return append(s, v) }
+
+var plantedSink []int
+
+func TestPlantedCalleeAllocatesAtRuntime(t *testing.T) {
+	full := []int{1} // len == cap: append must grow
+	allocs := testing.AllocsPerRun(100, func() {
+		plantedSink = plantedGrow(full, 2)
+	})
+	if allocs == 0 {
+		t.Fatal("planted callee did not allocate at runtime; the static conviction in the fixtures would be vacuous")
+	}
+}
+
+// TestKernelsAndLUClosureClean cross-checks hotalloc-ip against the
+// repo's AllocsPerRun benches: internal/kernels and internal/lu assert
+// zero allocations per hot call at runtime, so the static verdict over
+// the same closure must also be clean.
+func TestKernelsAndLUClosureClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root, nil)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range []string{"gesp/internal/kernels", "gesp/internal/lu"} {
+		if _, err := loader.Load(pkg); err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+	}
+	prog := analysis.NewProgram(loader.Fset(), loader.Loaded())
+	diags, err := analysis.RunProgramAnalyzer(hotallocip.Analyzer, prog)
+	if err != nil {
+		t.Fatalf("running hotalloc-ip: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("hotalloc-ip disagrees with the AllocsPerRun benches: %s: %s",
+			prog.Fset.Position(d.Pos), d.Message)
+	}
+}

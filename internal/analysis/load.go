@@ -123,6 +123,18 @@ func NewFixtureLoader(srcRoot string, tags []string) *Loader {
 // Fset returns the loader's shared FileSet.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Loaded returns every module-local (or fixture) package loaded so far,
+// sorted by import path: the program a ProgramAnalyzer sees. Stdlib
+// packages resolved by the compiler importer are not included.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs { //gesp:unordered
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Import implements types.Importer so a Loader can resolve the imports
 // of the packages it loads.
 func (l *Loader) Import(path string) (*types.Package, error) {

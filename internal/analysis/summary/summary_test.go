@@ -1,0 +1,98 @@
+package summary_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gesp/internal/analysis"
+	"gesp/internal/analysis/callgraph"
+	"gesp/internal/analysis/summary"
+)
+
+func fixtureGraph(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join("testdata", "src"), nil)
+	if _, err := loader.Load("chain"); err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Of(analysis.NewProgram(loader.Fset(), loader.Loaded()))
+}
+
+func forbiddenSpec(g *callgraph.Graph) summary.TaintSpec {
+	return summary.TaintSpec{
+		Graph: g,
+		EdgeTaint: func(e *callgraph.Edge) (string, bool) {
+			if e.Callee.Name() == "chain.forbidden" {
+				return "calls forbidden()", true
+			}
+			return "", false
+		},
+	}
+}
+
+func TestTaintPropagationAndBlamePath(t *testing.T) {
+	g := fixtureGraph(t)
+	facts := forbiddenSpec(g).Solve()
+
+	entry := g.Lookup("chain.Entry")
+	if !facts[entry].Bad {
+		t.Fatal("chain.Entry should be tainted through Mid and Leaf")
+	}
+	if clean := g.Lookup("chain.CleanEntry"); facts[clean].Bad {
+		t.Error("chain.CleanEntry should be clean")
+	}
+	if rec := g.Lookup("chain.Rec"); facts[rec].Bad {
+		t.Error("chain.Rec (pure recursion) should be clean")
+	}
+
+	path, sink := summary.Blame(facts, entry)
+	var hops []string
+	for _, e := range path {
+		hops = append(hops, e.Callee.Name())
+	}
+	want := []string{"chain.Mid", "chain.Leaf", "chain.forbidden"}
+	if strings.Join(hops, ",") != strings.Join(want, ",") {
+		t.Errorf("blame path %v, want %v", hops, want)
+	}
+	if sink.What != "calls forbidden()" {
+		t.Errorf("sink cause %q, want %q", sink.What, "calls forbidden()")
+	}
+
+	rendered := summary.RenderBlame(g.Prog.Fset, entry, path, sink)
+	for _, frag := range []string{"chain.Entry", "chain.Mid (call at fixture.go:", "chain.Leaf (call at fixture.go:", ": calls forbidden()"} {
+		if !strings.Contains(rendered, frag) {
+			t.Errorf("rendered blame %q missing %q", rendered, frag)
+		}
+	}
+}
+
+func TestSkippedEdgeCutsPropagation(t *testing.T) {
+	g := fixtureGraph(t)
+	spec := forbiddenSpec(g)
+	spec.SkipEdge = func(e *callgraph.Edge) bool {
+		return e.Caller.Name() == "chain.Leaf" && e.Callee.Name() == "chain.forbidden"
+	}
+	facts := spec.Solve()
+	for _, name := range []string{"chain.Entry", "chain.Mid", "chain.Leaf"} {
+		if facts[g.Lookup(name)].Bad {
+			t.Errorf("%s tainted despite the waived edge", name)
+		}
+	}
+}
+
+func TestCleanNodeCutsPropagation(t *testing.T) {
+	g := fixtureGraph(t)
+	spec := forbiddenSpec(g)
+	spec.Clean = func(n *callgraph.Node) bool { return n.Name() == "chain.Mid" }
+	facts := spec.Solve()
+	if !facts[g.Lookup("chain.Leaf")].Bad {
+		t.Error("chain.Leaf should stay tainted")
+	}
+	if facts[g.Lookup("chain.Mid")].Bad {
+		t.Error("chain.Mid is sanctioned and should be clean")
+	}
+	if facts[g.Lookup("chain.Entry")].Bad {
+		t.Error("chain.Entry's only path runs through sanctioned Mid")
+	}
+}

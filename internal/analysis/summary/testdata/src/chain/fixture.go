@@ -1,0 +1,24 @@
+// Package chain is the summary-engine fixture: a three-deep call chain
+// to a forbidden function, a recursive cycle (fixpoint convergence),
+// and a clean entry point.
+package chain
+
+func Entry() { Mid() }
+
+func Mid() {
+	Leaf()
+	Rec(2)
+}
+
+func Leaf() { forbidden() }
+
+func forbidden() {}
+
+// Rec converges under the worklist despite the self-edge.
+func Rec(n int) {
+	if n > 0 {
+		Rec(n - 1)
+	}
+}
+
+func CleanEntry() { Rec(3) }

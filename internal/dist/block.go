@@ -207,7 +207,7 @@ func (t *Block) RankBUpdateInto(l, u *Block, ws *UpdateScratch) int64 {
 	nrL, nrT := l.NR(), t.NR()
 	ncU, nrU := u.NC(), u.NR()
 	bk := l.NC() // supernode K width; equals u.NR()
-	ws.ensure(nrL, ncU, nrU)
+	ws.ensure(nrL, ncU, nrU) //gesp:allocok one-time scratch warm-up; steady state is allocation-free (see blockupdate_test AllocsPerRun)
 	rowMap, colMap, prod, upack := ws.rowMap, ws.colMap, ws.prod, ws.upack
 	for i, r := range l.Rows {
 		rowMap[i] = lookup(t.Rows, r)
@@ -259,7 +259,7 @@ func (t *Block) rankBUpdateScalar(l, u *Block, ws *UpdateScratch) int64 {
 	nrL, nrT := l.NR(), t.NR()
 	ncU, nrU := u.NC(), u.NR()
 	bk := l.NC() // supernode K width; equals u.NR()
-	ws.ensure(nrL, ncU, 0)
+	ws.ensure(nrL, ncU, 0) //gesp:allocok one-time scratch warm-up; steady state is allocation-free (see blockupdate_test AllocsPerRun)
 	rowMap, colMap, prod := ws.rowMap, ws.colMap, ws.prod
 	for i, r := range l.Rows {
 		rowMap[i] = lookup(t.Rows, r)

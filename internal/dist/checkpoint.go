@@ -148,16 +148,24 @@ func restoreBlocks(st *Structure, a *sparse.CSC, own func(i, j int) bool, blob [
 // never interleave; a checkpoint commits only once every rank has
 // contributed, and a failure mid-cut leaves the previous commit intact.
 type ckptCollector struct {
-	mu        sync.Mutex
-	p         int
-	frontier  int
-	got       int
-	snaps     []mpisim.Snapshot
-	blobs     [][]byte
-	tinies    []int
+	mu sync.Mutex
+	p  int
+	//gesp:guardedby:mu
+	frontier int
+	//gesp:guardedby:mu
+	got int
+	//gesp:guardedby:mu
+	snaps []mpisim.Snapshot
+	//gesp:guardedby:mu
+	blobs [][]byte
+	//gesp:guardedby:mu
+	tinies []int
+	//gesp:guardedby:mu
 	committed *Checkpoint
-	commits   int
-	bytes     int
+	//gesp:guardedby:mu
+	commits int
+	//gesp:guardedby:mu
+	bytes int
 }
 
 func newCkptCollector(p int) *ckptCollector {

@@ -48,7 +48,7 @@ var ErrZeroPivotDist = errors.New("dist: zero pivot with replacement disabled")
 // distributed GESP algorithm and solves a·x = b. The symbolic structure
 // must come from symbolic.Factorize on the same matrix.
 func Solve(a *sparse.CSC, sym *symbolic.Result, b []float64, opts Options) (*Result, error) {
-	res, xs, err := solveMulti(a, sym, [][]float64{b}, opts)
+	res, xs, err := solveMulti(a, sym, [][]float64{b}, opts) //gesp:wallclock solveMulti's Wall stats are reporting-only; they never feed the virtual clock
 	if err != nil {
 		return res, err
 	}
@@ -61,7 +61,7 @@ func Solve(a *sparse.CSC, sym *symbolic.Result, b []float64, opts Options) (*Res
 // on the number of right-hand sides"). The Solve phase statistics cover
 // all right-hand sides together.
 func SolveMulti(a *sparse.CSC, sym *symbolic.Result, bs [][]float64, opts Options) (*Result, [][]float64, error) {
-	return solveMulti(a, sym, bs, opts)
+	return solveMulti(a, sym, bs, opts) //gesp:wallclock solveMulti's Wall stats are reporting-only; they never feed the virtual clock
 }
 
 // solveMulti runs the distributed factorization and the solves for all

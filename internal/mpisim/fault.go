@@ -70,8 +70,10 @@ type FaultPlan struct {
 	// nondeterministic and excluded from every determinism guarantee).
 	WallBackstop time.Duration
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//gesp:guardedby:mu
 	fired []bool
+	//gesp:guardedby:mu
 	drops int
 }
 

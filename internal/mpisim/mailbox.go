@@ -10,14 +10,17 @@ import "sync"
 // watchdog supervisor; the mailbox itself only offers non-blocking
 // dequeues plus a generation counter the wait loops key off.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	gen   uint64             // bumped on every put; wait loops recheck on change
+	mu   sync.Mutex
+	cond *sync.Cond
+	//gesp:guardedby:mu
+	gen uint64 // bumped on every put; wait loops recheck on change
+	//gesp:guardedby:mu
 	boxes map[int][]*message // key: src<<20 | tag
 	// lastSeq is the idempotent-delivery watermark per (src, tag) key.
 	// Sender sequence numbers are strictly increasing per destination,
 	// so a message at or below the watermark is a duplicate delivery
 	// and is discarded on arrival (ack-free dedup).
+	//gesp:guardedby:mu
 	lastSeq map[int]int64
 }
 
@@ -46,6 +49,8 @@ func (mb *mailbox) put(m *message) (dup bool) {
 
 // tryTake dequeues a (src, tag) message if one is queued. Caller holds
 // mb.mu.
+//
+//gesp:holds:mb.mu
 func (mb *mailbox) tryTake(src, tag int) *message {
 	key := tagKey(src, tag)
 	q := mb.boxes[key]
@@ -64,6 +69,8 @@ func (mb *mailbox) tryTake(src, tag int) *message {
 // tryTakeAny dequeues the queued message with the earliest virtual
 // arrival (ties broken by key for determinism), or nil if the mailbox
 // is empty. Caller holds mb.mu.
+//
+//gesp:holds:mb.mu
 func (mb *mailbox) tryTakeAny(model CostModel) *message {
 	bestKey := -1
 	bestArrival := 0.0

@@ -70,11 +70,15 @@ type World struct {
 	delayed    atomic.Int64
 	stalls     atomic.Int64
 
-	barrierMu           sync.Mutex
-	barrierCond         *sync.Cond
-	barrierCount        int
-	barrierGen          int
-	barrierClock        float64
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	//gesp:guardedby:barrierMu
+	barrierCount int
+	//gesp:guardedby:barrierMu
+	barrierGen int
+	//gesp:guardedby:barrierMu
+	barrierClock float64
+	//gesp:guardedby:barrierMu
 	barrierClockPending float64
 
 	ranks []*Rank
@@ -113,7 +117,7 @@ func (w *World) InstallFaults(p *FaultPlan) { w.plan = p }
 func (w *World) Run(body func(r *Rank)) {
 	w.sup = newSupervisor(w) // fresh supervision per Run (worlds may Run repeatedly)
 	if w.plan != nil && w.plan.WallBackstop > 0 {
-		stop := w.startWallBackstop(w.plan.WallBackstop)
+		stop := w.startWallBackstop(w.plan.WallBackstop) //gesp:wallclock sanctioned backstop: host timer only converts a wedged simulation into a report
 		defer stop()
 	}
 	var wg sync.WaitGroup

@@ -125,9 +125,13 @@ type supervisor struct {
 	w  *World
 	mu sync.Mutex
 
-	state    []rankState
-	blocked  []*waiter
-	active   int // ranks still running (not done, not dead)
+	//gesp:guardedby:mu
+	state []rankState
+	//gesp:guardedby:mu
+	blocked []*waiter
+	//gesp:guardedby:mu
+	active int // ranks still running (not done, not dead)
+	//gesp:guardedby:mu
 	nBlocked int
 
 	// First death wins: it becomes the failure's root cause.
@@ -210,6 +214,8 @@ func (s *supervisor) rankDone(id int) {
 
 // checkWedge declares failure iff every live rank is blocked on an
 // operation nothing queued or pending can satisfy. Caller holds s.mu.
+//
+//gesp:holds:s.mu
 func (s *supervisor) checkWedge() {
 	if s.failure.Load() != nil || s.active == 0 || s.nBlocked != s.active {
 		return

@@ -32,8 +32,10 @@ type batcher struct {
 	// batch early, never blocks, never deadlocks.
 	fill chan struct{}
 
-	mu      sync.Mutex
-	queue   []solveReq
+	mu sync.Mutex
+	//gesp:guardedby:mu
+	queue []solveReq
+	//gesp:guardedby:mu
 	running bool
 
 	// Cutter-private scratch, reused across cuts. The cutter is

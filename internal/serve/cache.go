@@ -51,11 +51,16 @@ type cache struct {
 	maxFac   int
 	maxBytes int64
 
-	sym    map[uint64]*symEntry
+	//gesp:guardedby:mu
+	sym map[uint64]*symEntry
+	//gesp:guardedby:mu
 	symLRU *list.List
-	fac    map[FactorKey]*facEntry
+	//gesp:guardedby:mu
+	fac map[FactorKey]*facEntry
+	//gesp:guardedby:mu
 	facLRU *list.List
-	bytes  int64
+	//gesp:guardedby:mu
+	bytes int64
 }
 
 func newCache(maxSym, maxFac int, maxBytes int64, m *Metrics) *cache {

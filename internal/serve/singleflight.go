@@ -14,7 +14,8 @@ import "sync"
 // call returns and all waiters are released, the key is forgotten.
 type flightGroup[K comparable, V any] struct {
 	mu sync.Mutex
-	m  map[K]*flightCall[V]
+	//gesp:guardedby:mu
+	m map[K]*flightCall[V]
 }
 
 type flightCall[V any] struct {
