@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race checktest chaostest servebench faultbench perfsmoke verify bench
+.PHONY: build test vet lint race checktest chaostest servebench fleetbench faultbench perfsmoke verify bench
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,10 @@ lint:
 # Race-check the concurrent engines: the DAG-scheduled shared-memory
 # factorization, the level-scheduled triangular solves, the simulated
 # MPI runtime, the distributed engine built on it, the caching,
-# batching solve service, and the shared micro-kernels (read-only
-# operand concurrency).
+# batching solve service, the sharded fleet router above it, and the
+# shared micro-kernels (read-only operand concurrency).
 race:
-	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/... ./internal/kernels/...
+	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/... ./internal/fleet/... ./internal/kernels/...
 
 # Checked build: rerun the test suite with the gespcheck tag, which
 # re-validates every structural invariant (CSC columns, supernode
@@ -50,6 +50,14 @@ servebench:
 	$(GO) run ./cmd/gesp-serve -load -clients 8 -duration 300ms -patterns 2 -variants 3 -scale 0.25
 	$(GO) test -run - -bench BenchmarkServeThroughput -benchtime 1x .
 
+# Fleet-layer smoke: one short closed-loop run through the sharded
+# router (replication, hedging, and a mid-run drain all exercised) plus
+# a single-iteration run of the fleet benchmarks. Catches wiring
+# breakage in cmd/gesp-fleet and the fleet experiment harness.
+fleetbench:
+	$(GO) run ./cmd/gesp-fleet -load -workers 8 -duration 300ms -patterns 3 -variants 3 -scale 0.25 -drain-mid
+	$(GO) test -run - -bench 'BenchmarkRing|BenchmarkFleet' -benchtime 1x ./internal/fleet/
+
 # Distributed fault-tolerance smoke: run the recovery-overhead table at
 # reduced scale. Fails if any injected fault (kill, stall, dropped
 # message) is not recovered with bit-identical factors.
@@ -71,7 +79,7 @@ perfsmoke:
 # suite, the race detector over the concurrent packages, the
 # invariant-checked build, the fault drill, the serving-layer smoke,
 # the fault-recovery smoke, and the perf-gate smoke.
-verify: vet lint build test race checktest chaostest servebench faultbench perfsmoke
+verify: vet lint build test race checktest chaostest servebench fleetbench faultbench perfsmoke
 
 # Full benchmark sweep: every package's Go benchmarks, then the
 # schema-versioned bench file (ns/op, allocs/op, Mflops per kernel and

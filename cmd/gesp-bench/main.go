@@ -31,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gesp-bench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, resilience, faults, kernels")
+		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, fleet, resilience, faults, kernels")
 		scale    = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
 		procsF   = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
 		p5       = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
@@ -41,6 +41,9 @@ func main() {
 
 		serveClients  = flag.Int("serve-clients", 16, "closed-loop clients for the serve experiment")
 		serveDuration = flag.Duration("serve-duration", time.Second, "measurement window per arm of the serve experiment")
+
+		fleetWorkers  = flag.Int("fleet-workers", 16, "closed-loop workers for the fleet experiment")
+		fleetDuration = flag.Duration("fleet-duration", time.Second, "measurement window per arm of the fleet experiment")
 	)
 	flag.Parse()
 
@@ -76,7 +79,7 @@ func main() {
 		"table2": true, "table3": true, "table4": true, "table5": true,
 		"edag": true, "pipeline": true, "nopivot": true, "blocksize": true,
 		"ordering": true, "iterative": true, "relax": true, "redist": true, "gridshape": true,
-		"parfactor": true, "serve": true, "resilience": true, "faults": true,
+		"parfactor": true, "serve": true, "fleet": true, "resilience": true, "faults": true,
 		"kernels": true,
 	}
 	if !known[*exp] {
@@ -219,6 +222,13 @@ func main() {
 			log.Fatal(err)
 		}
 		experiments.PrintServe(w, rows)
+	})
+	section("fleet", func() {
+		rows, err := experiments.FleetAblation(*fleetWorkers, *fleetDuration, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintFleet(w, rows)
 	})
 	section("iterative", func() {
 		rows, err := experiments.IterativeAblation(

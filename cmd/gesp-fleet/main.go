@@ -1,0 +1,304 @@
+// Command gesp-fleet runs a sharded GESP solve fleet: N in-process
+// serve.Service shards behind a consistent-hash router, with hot-pattern
+// replication, hedged solves against stragglers, per-tenant admission
+// control, and graceful shard drain. It speaks the same HTTP JSON API as
+// gesp-serve, plus a drain endpoint; tenants identify themselves with an
+// X-Tenant header.
+//
+// API:
+//
+//	POST /v1/matrix  {"n":N,"rows":[...],"cols":[...],"vals":[...]}
+//	                 -> {"handle":"p….v….n…","n":N,"nnz":…,"shard":…}
+//	POST /v1/solve   {"handle":"…","b":[...]}
+//	                 -> {"x":[...]}
+//	GET  /v1/stats   -> fleet.Stats JSON
+//	POST /v1/drain   {"shard":K}
+//	                 -> {"drained":K}  (caches hand off; no refactorization)
+//
+// Load-generator mode (no server; closed-loop in-process benchmark):
+//
+//	gesp-fleet -load -shards 4 -workers 16 -duration 2s -drain-mid
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gesp/internal/experiments"
+	"gesp/internal/fleet"
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gesp-fleet: ")
+	var (
+		addr        = flag.String("addr", ":8743", "HTTP listen address")
+		shards      = flag.Int("shards", 4, "number of in-process solve shards")
+		vnodes      = flag.Int("vnodes", fleet.DefaultVNodes, "consistent-hash virtual nodes per shard")
+		replication = flag.Int("replication", 2, "shards holding a hot pattern, owner included (<=1 disables)")
+		hotThresh   = flag.Uint64("hot-threshold", 32, "solve count that promotes a pattern to replicated (0 disables)")
+		hedgeDepth  = flag.Int64("hedge-queue-depth", 4, "hedge to the replica when the primary queue is this deep (0 disables)")
+		hedgeP95    = flag.Duration("hedge-p95", 0, "hedge when the primary's observed p95 exceeds this (0 disables)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admitted requests per second (0 = no admission control)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst")
+
+		maxBatch = flag.Int("max-batch", 16, "per-shard max right-hand sides per batched sweep")
+		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "per-shard max time a solve waits for its batch to fill")
+		queueCap = flag.Int("queue-cap", 256, "per-shard per-factor solve queue bound")
+		maxFac   = flag.Int("max-factors", 1024, "per-shard factor cache entry cap")
+		noRefine = flag.Bool("no-refine", false, "skip iterative refinement on served solves")
+
+		loadMode = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
+		workers  = flag.Int("workers", 8, "load: concurrent closed-loop workers")
+		duration = flag.Duration("duration", 2*time.Second, "load: measurement duration")
+		patterns = flag.Int("patterns", 6, "load: distinct sparsity patterns")
+		variants = flag.Int("variants", 4, "load: value variants per pattern")
+		scale    = flag.Float64("scale", 0.3, "load: testbed matrix scale")
+		zipfS    = flag.Float64("zipf", 1.2, "load: Zipf skew of the pattern popularity (>1)")
+		diurnal  = flag.Bool("diurnal", true, "load: modulate worker count through burst phases")
+		drainMid = flag.Bool("drain-mid", false, "load: drain the hottest pattern's home shard mid-run")
+	)
+	flag.Parse()
+
+	cfg := fleet.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.VNodes = *vnodes
+	cfg.ReplicationFactor = *replication
+	cfg.HotThreshold = *hotThresh
+	cfg.HedgeQueueDepth = *hedgeDepth
+	cfg.HedgeP95 = *hedgeP95
+	cfg.TenantRate = *tenantRate
+	cfg.TenantBurst = *tenantBurst
+	cfg.Service.MaxBatch = *maxBatch
+	cfg.Service.MaxDelay = *maxDelay
+	cfg.Service.QueueCap = *queueCap
+	cfg.Service.MaxFactors = *maxFac
+	if *noRefine {
+		cfg.Service.Options.Refine = false
+	}
+
+	if *loadMode {
+		res, err := experiments.RunFleetLoad(experiments.FleetLoadConfig{
+			Fleet:    cfg,
+			Workers:  *workers,
+			Patterns: *patterns,
+			Variants: *variants,
+			Duration: *duration,
+			Scale:    *scale,
+			ZipfS:    *zipfS,
+			Diurnal:  *diurnal,
+			DrainMid: *drainMid,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLoad(res)
+		return
+	}
+
+	f := fleet.New(cfg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrix", handleMatrix(f))
+	mux.HandleFunc("POST /v1/solve", handleSolve(f))
+	mux.HandleFunc("GET /v1/stats", handleStats(f))
+	mux.HandleFunc("POST /v1/drain", handleDrain(f))
+	log.Printf("listening on %s (%d shards, replication %d, hedge depth %d / p95 %v)",
+		*addr, cfg.Shards, cfg.ReplicationFactor, cfg.HedgeQueueDepth, cfg.HedgeP95)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// printLoad renders the load-generator report; stdout write failures
+// have no recovery beyond the OS reporting them on exit.
+//
+//gesp:errok
+func printLoad(res *experiments.FleetLoadResult) {
+	fmt.Printf("fleet load: %d shards, %d workers, %d systems, %v\n",
+		res.ShardCount, res.Workers, res.Systems, res.Elapsed)
+	fmt.Printf("  solves %d (%.0f/s)  shed %d  failed %d\n",
+		res.Solves, res.Throughput, res.Shed, res.Failed)
+	fmt.Printf("  p50 %v  p99 %v  p999 %v  hedge %.1f%%  heal %.1f%%\n",
+		res.P50, res.P99, res.P999, 100*res.HedgeRate, 100*res.Stats.HealRate())
+	fmt.Printf("  factor runs warm/final %d/%d\n", res.FactorRunsWarm, res.FactorRunsFinal)
+	if res.DrainErr != "" {
+		fmt.Printf("  DRAIN ERROR: %s\n", res.DrainErr)
+	}
+	fmt.Print(res.Stats.String())
+}
+
+// tenant extracts the per-tenant admission identity; absent headers
+// share the default bucket.
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+type matrixRequest struct {
+	N    int       `json:"n"`
+	Rows []int     `json:"rows"`
+	Cols []int     `json:"cols"`
+	Vals []float64 `json:"vals"`
+}
+
+type matrixResponse struct {
+	Handle string `json:"handle"`
+	N      int    `json:"n"`
+	Nnz    int    `json:"nnz"`
+	Shard  int    `json:"shard"`
+}
+
+type solveRequest struct {
+	Handle string    `json:"handle"`
+	B      []float64 `json:"b"`
+}
+
+type solveResponse struct {
+	X []float64 `json:"x"`
+}
+
+type drainRequest struct {
+	Shard int `json:"shard"`
+}
+
+type drainResponse struct {
+	Drained int `json:"drained"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// writeErr maps fleet/serve error taxonomy onto HTTP. Quota and
+// overload rejections carry a Retry-After so well-behaved tenants can
+// pace themselves.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var qe *fleet.QuotaError
+	var oe *serve.OverloadedError
+	switch {
+	case errors.As(err, &qe):
+		status = http.StatusTooManyRequests
+		setRetryAfter(w, qe.RetryAfter)
+	case errors.As(err, &oe):
+		status = http.StatusServiceUnavailable
+		setRetryAfter(w, oe.RetryAfter)
+	case errors.Is(err, serve.ErrOverloaded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrHandleExpired):
+		status = http.StatusGone // resubmit the matrix
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, fleet.ErrNoShards):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(d.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func handleMatrix(f *fleet.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req matrixRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, fmt.Errorf("bad matrix body: %w", err))
+			return
+		}
+		a, err := assembleMatrix(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		h, err := f.Submit(tenant(r), a)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		owner := f.Ring().Owner(h.Key.Pattern)
+		writeJSON(w, http.StatusOK, matrixResponse{Handle: h.String(), N: h.N, Nnz: a.Nnz(), Shard: owner})
+	}
+}
+
+func assembleMatrix(req matrixRequest) (*sparse.CSC, error) {
+	if req.N <= 0 {
+		return nil, fmt.Errorf("matrix dimension %d, want positive", req.N)
+	}
+	if len(req.Rows) != len(req.Vals) || len(req.Cols) != len(req.Vals) {
+		return nil, fmt.Errorf("triplet arrays disagree: %d rows, %d cols, %d vals",
+			len(req.Rows), len(req.Cols), len(req.Vals))
+	}
+	t := sparse.NewTriplet(req.N, req.N)
+	for k := range req.Vals {
+		i, j := req.Rows[k], req.Cols[k]
+		if i < 0 || i >= req.N || j < 0 || j >= req.N {
+			return nil, fmt.Errorf("entry %d at (%d,%d) outside %dx%d", k, i, j, req.N, req.N)
+		}
+		t.Append(i, j, req.Vals[k])
+	}
+	return t.ToCSC(), nil
+}
+
+func handleSolve(f *fleet.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req solveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, fmt.Errorf("bad solve body: %w", err))
+			return
+		}
+		h, err := serve.ParseHandle(req.Handle)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		x, err := f.SolveCtx(r.Context(), tenant(r), h, req.B)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse{X: x})
+	}
+}
+
+func handleStats(f *fleet.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Stats())
+	}
+}
+
+func handleDrain(f *fleet.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req drainRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, fmt.Errorf("bad drain body: %w", err))
+			return
+		}
+		if err := f.Drain(req.Shard); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, drainResponse{Drained: req.Shard})
+	}
+}

@@ -1,0 +1,504 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"gesp/internal/fleet"
+	"gesp/internal/matgen"
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+// The fleet experiment: a closed-loop, Zipf-skewed, diurnally bursty
+// load generator over the sharded solve fleet. It measures what the
+// fleet layer is for — how throughput scales with shards when the
+// per-shard factor cache is the bottleneck, what hedging does to the
+// tail when one shard straggles, and whether a mid-run drain loses
+// requests or refactors anything.
+
+// FleetLoadConfig parameterizes one closed-loop fleet run.
+type FleetLoadConfig struct {
+	Fleet    fleet.Config
+	Workers  int // peak closed-loop workers
+	Patterns int
+	// PatternNames pins the exact testbed patterns (overrides Patterns
+	// when non-empty) — the scaling arms use it to pick a pool whose
+	// ring owners are balanced, so shard count maps cleanly onto
+	// aggregate cache capacity.
+	PatternNames []string
+	Variants     int
+	Duration     time.Duration
+	Scale        float64
+	// ZipfS is the Zipf skew (>1); popular systems dominate, which is
+	// what makes per-shard caches and replication matter.
+	ZipfS float64
+	// Diurnal modulates the active worker count through burst phases
+	// (half load, peak, trough, peak) across the run.
+	Diurnal bool
+	// DrainMid, when true, drains the hottest pattern's home shard at
+	// the midpoint of the run.
+	DrainMid bool
+	// ThinkTime is the per-worker pause between requests. Non-zero
+	// decouples offered load from service latency, so a closed loop
+	// doesn't reward a faster arm with proportionally more traffic —
+	// the hedging arms use it to compare tails at similar arrival
+	// rates.
+	ThinkTime time.Duration
+	Seed      int64
+}
+
+// FleetLoadResult is one run's measurement.
+type FleetLoadResult struct {
+	Label           string
+	ShardCount      int
+	Workers         int
+	Systems         int
+	Solves          uint64
+	Shed            uint64
+	Failed          uint64
+	Elapsed         time.Duration
+	Throughput      float64 // solves per second
+	P50, P99, P999  time.Duration
+	FactorHitRate   float64
+	HedgeRate       float64
+	FactorRunsWarm  int64 // numeric factorizations after warmup
+	FactorRunsFinal int64 // ... and at the end of the run
+	DrainErr        string
+	Stats           fleet.Stats
+}
+
+// fleetLoadPatterns is the testbed slice the fleet pool draws from,
+// smallest first. It is wide on purpose: balancedFleetPatterns needs
+// candidates whose PatternHash lands on every ring owner, and which
+// fingerprint falls where is hash luck.
+var fleetLoadPatterns = []string{
+	"SHERMAN4", "GEMAT11", "WEST2021", "ORSIRR_1", "JPWH_991",
+	"PORES_2", "SHERMAN3", "ADD32", "MEMPLUS", "SAYLR4",
+	"GOODWIN", "GRAHAM1", "TOLS4000", "INACCURA", "MHD4800A",
+	"WANG4", "LHR01", "RADFR1", "RAEFSKY4", "FIDAPM11",
+	"MCFE", "SHERMAN5", "BBMAT", "TWOTONE", "VENKAT01",
+	"LHR34C", "AF23560", "RDIST2", "ONETONE1", "SHYY161",
+	"ECL32", "RDIST1",
+}
+
+// diurnalPhases is the active-worker fraction per quarter of the run:
+// ramp, peak, trough, peak — the bursty shape a real tenant mix has.
+var diurnalPhases = [4]float64{0.5, 1.0, 0.25, 1.0}
+
+// RunFleetLoad builds the system pool, warms the fleet (every system
+// submitted and solved once), then runs the closed-loop Zipf load for
+// Duration and snapshots everything.
+func RunFleetLoad(cfg FleetLoadConfig) (*FleetLoadResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Patterns <= 0 {
+		cfg.Patterns = 6
+	}
+	if cfg.Patterns > len(fleetLoadPatterns) {
+		cfg.Patterns = len(fleetLoadPatterns)
+	}
+	if cfg.Variants <= 0 {
+		cfg.Variants = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.3
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+
+	names := cfg.PatternNames
+	if len(names) == 0 {
+		names = fleetLoadPatterns[:cfg.Patterns]
+	}
+
+	type poolEntry struct {
+		a *sparse.CSC
+		b []float64
+		h serve.Handle
+	}
+	var pool []poolEntry
+	for p := range names {
+		m, ok := matgen.Lookup(names[p])
+		if !ok {
+			return nil, fmt.Errorf("experiments: testbed matrix %s missing", names[p])
+		}
+		base := m.Generate(cfg.Scale)
+		for v := 0; v < cfg.Variants; v++ {
+			a := base
+			if v > 0 {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*p+v)))
+				a = base.Clone()
+				for k := range a.Val {
+					a.Val[k] *= 1 + 0.1*rng.NormFloat64()
+				}
+			}
+			pool = append(pool, poolEntry{a: a, b: matgen.OnesRHS(a)})
+		}
+	}
+
+	f := fleet.New(cfg.Fleet)
+	defer f.Close()
+	for i := range pool {
+		h, err := f.Submit("load", pool[i].a)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet warm submit %d: %w", i, err)
+		}
+		pool[i].h = h
+		if _, err := f.Solve("load", h, pool[i].b); err != nil {
+			return nil, fmt.Errorf("experiments: fleet warm solve %d: %w", i, err)
+		}
+		// Warm the replicas too when the arm replicates, so promotion
+		// (and its replica-side factorizations) doesn't land inside the
+		// measurement window and pollute the tail it is meant to cut.
+		if cfg.Fleet.ReplicationFactor >= 2 && cfg.Fleet.HotThreshold > 0 {
+			if err := f.Replicate(h); err != nil {
+				return nil, fmt.Errorf("experiments: fleet warm replicate %d: %w", i, err)
+			}
+		}
+	}
+	runsWarm := f.Stats().FactorPhaseRuns()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		solves    uint64
+		shed      uint64
+		failed    uint64
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	activeFrac := func() float64 {
+		if !cfg.Diurnal {
+			return 1
+		}
+		q := int(4 * time.Since(start) / cfg.Duration)
+		if q > 3 {
+			q = 3
+		}
+		return diurnalPhases[q]
+	}
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(7000+wkr)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+			var local []time.Duration
+			var mySolves, myShed, myFailed uint64
+			for time.Now().Before(deadline) {
+				if float64(wkr) >= activeFrac()*float64(cfg.Workers) {
+					time.Sleep(200 * time.Microsecond) // off-shift worker
+					continue
+				}
+				e := &pool[zipf.Uint64()]
+				t0 := time.Now()
+				_, err := f.Solve("load", e.h, e.b)
+				switch {
+				case err == nil:
+					local = append(local, time.Since(t0))
+					mySolves++
+				case errors.Is(err, serve.ErrOverloaded):
+					myShed++
+				default:
+					myFailed++
+				}
+				if cfg.ThinkTime > 0 {
+					time.Sleep(cfg.ThinkTime)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			solves += mySolves
+			shed += myShed
+			failed += myFailed
+			mu.Unlock()
+		}(wkr)
+	}
+
+	res := &FleetLoadResult{
+		ShardCount: cfg.Fleet.Shards,
+		Workers:    cfg.Workers,
+		Systems:    len(pool),
+	}
+	if cfg.DrainMid {
+		time.Sleep(cfg.Duration / 2)
+		target := f.Ring().Owner(pool[0].h.Key.Pattern)
+		if err := f.Drain(target); err != nil {
+			res.DrainErr = err.Error()
+		}
+	}
+	wg.Wait()
+
+	st := f.Stats()
+	res.Solves = solves
+	res.Shed = shed
+	res.Failed = failed
+	res.Elapsed = cfg.Duration
+	res.Throughput = float64(solves) / cfg.Duration.Seconds()
+	res.FactorHitRate = st.FactorHitRate()
+	res.HedgeRate = st.HedgeRate()
+	res.FactorRunsWarm = runsWarm
+	res.FactorRunsFinal = st.FactorPhaseRuns()
+	res.Stats = st
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	res.P50, res.P99, res.P999 = pct(0.50), pct(0.99), pct(0.999)
+	return res, nil
+}
+
+// FleetAblationResult holds the three fleet studies: shard scaling
+// under cache pressure, hedging against a straggler, and a mid-run
+// drain.
+type FleetAblationResult struct {
+	Scaling []FleetLoadResult // 1, 2, 4 shards, same aggregate load
+	Hedging []FleetLoadResult // straggler without, then with hedging
+	Drain   FleetLoadResult
+}
+
+// FleetAblation runs the three studies with a shared worker count,
+// duration and scale.
+//
+// Scaling arms fix the per-shard factor-cache capacity so that four
+// shards hold the whole Zipf pool warm while one shard thrashes — the
+// single-node cache ceiling the fleet exists to break. Hedging arms
+// straggler one shard and compare tails with hedging off and on. The
+// drain arm removes the hottest pattern's home shard mid-run and
+// checks nothing failed and nothing refactored.
+func FleetAblation(workers int, duration time.Duration, scale float64) (*FleetAblationResult, error) {
+	base := FleetLoadConfig{
+		Workers:  workers,
+		Patterns: 6,
+		Variants: 4,
+		Duration: duration,
+		Scale:    scale,
+		Diurnal:  true,
+	}
+	res := &FleetAblationResult{}
+	// The scaling pool: patterns picked so the 4-shard ring owns them
+	// 2-per-shard, a flatter Zipf so the tail matters, and a per-shard
+	// factor cache of pool/4 entries. Four shards hold the whole pool
+	// warm; one shard evicts and refactors — the single-node cache
+	// ceiling the fleet exists to break.
+	scalingNames := balancedFleetPatterns(scale, 4, 2)
+	scalingPool := len(scalingNames) * 3
+	for _, shards := range []int{1, 2, 4} {
+		cfg := base
+		cfg.PatternNames = scalingNames
+		cfg.Variants = 3
+		cfg.ZipfS = 1.07
+		cfg.Fleet = fleet.DefaultConfig()
+		cfg.Fleet.Shards = shards
+		cfg.Fleet.ReplicationFactor = 1 // isolate the cache-capacity effect
+		cfg.Fleet.HotThreshold = 0
+		cfg.Fleet.HedgeQueueDepth = 0
+		cfg.Fleet.Service.Options.Refine = false
+		cfg.Fleet.Service.MaxFactors = scalingPool / 4
+		r, err := RunFleetLoad(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.Label = fmt.Sprintf("%d-shard", shards)
+		res.Scaling = append(res.Scaling, *r)
+	}
+
+	for _, hedge := range []bool{false, true} {
+		cfg := base
+		cfg.Diurnal = false                  // steady peak load; the tail is the subject
+		cfg.ThinkTime = 3 * time.Millisecond // same offered load in both arms
+		cfg.Fleet = fleet.DefaultConfig()
+		cfg.Fleet.Shards = 4
+		cfg.Fleet.ReplicationFactor = 2
+		cfg.Fleet.HotThreshold = 16 // promote the Zipf head quickly
+		cfg.Fleet.HedgeQueueDepth = 0
+		cfg.Fleet.HedgeP95 = 0
+		if hedge {
+			// Above the histogram bucket healthy solves land in
+			// (quantile() reports bucket upper bounds), below the
+			// straggler's 5ms: only the slow shard triggers hedging.
+			cfg.Fleet.HedgeP95 = 3 * time.Millisecond
+		}
+		cfg.Fleet.Service.Options.Refine = false
+		straggler := stragglerShard(cfg, scale)
+		cfg.Fleet.Straggler = func(id int) time.Duration {
+			if id == straggler {
+				return 5 * time.Millisecond
+			}
+			return 0
+		}
+		r, err := RunFleetLoad(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.Label = "straggler"
+		if hedge {
+			r.Label = "straggler+hedge"
+		}
+		res.Hedging = append(res.Hedging, *r)
+	}
+
+	{
+		cfg := base
+		cfg.Fleet = fleet.DefaultConfig()
+		cfg.Fleet.Shards = 4
+		cfg.Fleet.ReplicationFactor = 1
+		cfg.Fleet.HotThreshold = 0
+		cfg.Fleet.HedgeQueueDepth = 0
+		cfg.Fleet.Service.Options.Refine = false
+		cfg.DrainMid = true
+		r, err := RunFleetLoad(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.Label = "drain-mid-run"
+		res.Drain = *r
+	}
+	return res, nil
+}
+
+// stragglerShard picks the shard the hedging arms slow down: the home
+// shard of the most popular pattern, so the straggler actually sits in
+// the hot path.
+func stragglerShard(cfg FleetLoadConfig, scale float64) int {
+	m, ok := matgen.Lookup(fleetLoadPatterns[0])
+	if !ok {
+		return 0
+	}
+	a := m.Generate(scale)
+	ring := fleet.NewRing(shardIDs(cfg.Fleet.Shards), cfg.Fleet.VNodes)
+	return ring.Owner(sparse.PatternHash(a))
+}
+
+// balancedFleetPatterns picks perShard testbed patterns per ring owner
+// under a shards-wide ring, so the scaling arms' pool spreads evenly
+// and shard count maps onto aggregate cache capacity rather than onto
+// hash luck. Candidates are taken largest-first: the bigger the
+// matrix, the bigger the refactorization penalty a cache miss pays,
+// which is exactly the cost the shard-scaling study measures. Falls
+// back to unpicked candidates when the testbed can't fill a shard's
+// bucket.
+func balancedFleetPatterns(scale float64, shards, perShard int) []string {
+	ring := fleet.NewRing(shardIDs(shards), 0)
+	type candidate struct {
+		name  string
+		rows  int
+		owner int
+	}
+	var cands []candidate
+	for _, name := range fleetLoadPatterns {
+		m, ok := matgen.Lookup(name)
+		if !ok {
+			continue
+		}
+		a := m.Generate(scale)
+		cands = append(cands, candidate{name, a.Rows, ring.Owner(sparse.PatternHash(a))})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].rows > cands[j].rows })
+
+	buckets := make(map[int]int, shards)
+	picked := make([]string, 0, shards*perShard)
+	taken := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		if len(picked) == shards*perShard {
+			break
+		}
+		if buckets[c.owner] < perShard {
+			buckets[c.owner]++
+			picked = append(picked, c.name)
+			taken[c.name] = true
+		}
+	}
+	for _, c := range cands {
+		if len(picked) == shards*perShard {
+			break
+		}
+		if !taken[c.name] {
+			picked = append(picked, c.name)
+		}
+	}
+	return picked
+}
+
+func shardIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// PrintFleet formats the fleet ablation like the repo's other
+// experiment tables.
+//
+//gesp:errok
+func PrintFleet(w io.Writer, res *FleetAblationResult) {
+	fmt.Fprintln(w, "Fleet shard scaling (Zipf load, per-shard cache = pool/4; cache capacity is the bottleneck):")
+	fmt.Fprintf(w, "%-16s %7s %8s %10s %10s %10s %10s %8s %6s %6s %8s\n",
+		"arm", "shards", "workers", "solves/s", "p50", "p99", "p999", "heal", "shed", "fail", "vs-1shd")
+	printFleetRows(w, res.Scaling, true)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Hedged solves vs one straggler shard (5ms injected delay on the hot pattern's home):")
+	fmt.Fprintf(w, "%-16s %7s %8s %10s %10s %10s %10s %8s %9s %8s\n",
+		"arm", "shards", "workers", "solves/s", "p50", "p99", "p999", "heal", "hedge", "wins")
+	for _, r := range res.Hedging {
+		fmt.Fprintf(w, "%-16s %7d %8d %10.0f %10s %10s %10s %7.1f%% %8.1f%% %8d\n",
+			r.Label, r.ShardCount, r.Workers, r.Throughput,
+			fmtDur(r.P50), fmtDur(r.P99), fmtDur(r.P999),
+			100*r.Stats.HealRate(), 100*r.HedgeRate, r.Stats.HedgeWins)
+	}
+	fmt.Fprintln(w)
+	d := res.Drain
+	fmt.Fprintln(w, "Graceful drain mid-run (hottest pattern's home shard leaves under load):")
+	fmt.Fprintf(w, "  solves %d  failed %d  shed %d  factor-runs warm/final %d/%d  handoff %d factors + %d symbolic\n",
+		d.Solves, d.Failed, d.Shed, d.FactorRunsWarm, d.FactorRunsFinal,
+		d.Stats.HandoffFactor, d.Stats.HandoffSym)
+	switch {
+	case d.DrainErr != "":
+		fmt.Fprintf(w, "  DRAIN ERROR: %s\n", d.DrainErr)
+	case d.Failed > 0:
+		fmt.Fprintln(w, "  FAILED REQUESTS: drain must be lossless")
+	case d.FactorRunsFinal != d.FactorRunsWarm:
+		fmt.Fprintln(w, "  REFACTORED: the handoff must move factors, not rebuild them")
+	default:
+		fmt.Fprintln(w, "  zero failed requests, zero refactorizations: the caches moved")
+	}
+	for _, r := range append(append([]FleetLoadResult{}, res.Scaling...), d) {
+		fmt.Fprintf(w, "\n[%s] fleet counters:\n%s", r.Label, indent(r.Stats.String(), "  "))
+	}
+}
+
+// printFleetRows shares PrintFleet's terminal-write error policy.
+//
+//gesp:errok
+func printFleetRows(w io.Writer, rows []FleetLoadResult, ratioCol bool) {
+	for _, r := range rows {
+		ratio := "-"
+		if ratioCol && rows[0].Throughput > 0 && r.ShardCount != rows[0].ShardCount {
+			ratio = fmt.Sprintf("%.2fx", r.Throughput/rows[0].Throughput)
+		}
+		fmt.Fprintf(w, "%-16s %7d %8d %10.0f %10s %10s %10s %7.1f%% %6d %6d %8s\n",
+			r.Label, r.ShardCount, r.Workers, r.Throughput,
+			fmtDur(r.P50), fmtDur(r.P99), fmtDur(r.P999),
+			100*r.Stats.HealRate(), r.Shed, r.Failed, ratio)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -145,11 +146,11 @@ func RunServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
 				}
 				t0 := time.Now()
 				_, err := svc.Solve(sys.h, sys.b)
-				switch err {
-				case nil:
+				switch {
+				case err == nil:
 					local = append(local, time.Since(t0))
 					mySolves++
-				case serve.ErrOverloaded:
+				case errors.Is(err, serve.ErrOverloaded):
 					myShed++
 				default:
 					mu.Lock()

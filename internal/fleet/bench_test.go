@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRingOwner is the router's hot lookup: one binary search over
+// the vnode points, no locks, no allocation.
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing([]int{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	keys := ringKeys(1024, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += r.Owner(keys[i&1023])
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkRingReplicasInto measures the full placement walk (owner
+// plus replica successors) into a caller buffer.
+func BenchmarkRingReplicasInto(b *testing.B) {
+	r := NewRing([]int{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	keys := ringKeys(1024, 12)
+	var dst [maxReplication]int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ReplicasInto(dst[:], keys[i&1023])
+	}
+}
+
+// BenchmarkFleetSolveWarm is the end-to-end router overhead: a warm
+// single-pattern solve through placement, admission, and the shard's
+// cached factors.
+func BenchmarkFleetSolveWarm(b *testing.B) {
+	cfg := quietConfig(4)
+	cfg.Service.MaxDelay = 0 // cut immediately; measure latency, not batching
+	f := New(cfg)
+	defer f.Close()
+	sys := testbedSystem(b, "SHERMAN4", 0)
+	h, err := f.Submit("bench", sys.a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Solve("bench", h, sys.b); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Solve("bench", h, sys.b); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetSolveHedged forces the hedge path (p95 trigger with a
+// stragglered primary) to price the race: two queued solves, a
+// context cancel, first response wins.
+func BenchmarkFleetSolveHedged(b *testing.B) {
+	cfg := quietConfig(4)
+	cfg.Service.MaxDelay = 0
+	cfg.ReplicationFactor = 2
+	cfg.HedgeP95 = time.Nanosecond // hedge everything after the first solve
+	f := New(cfg)
+	defer f.Close()
+	sys := testbedSystem(b, "SHERMAN4", 0)
+	h, err := f.Submit("bench", sys.a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Replicate(h); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Solve("bench", h, sys.b); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Solve("bench", h, sys.b); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

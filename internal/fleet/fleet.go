@@ -1,0 +1,641 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+// ErrNoShards means every shard is drained or the fleet is closed.
+var ErrNoShards = errors.New("fleet: no live shards")
+
+// maxReplication caps how many placements a single pattern can have:
+// the owner plus up to three replicas. Placement buffers live on the
+// stack at this size, keeping the routing path allocation-free.
+const maxReplication = 4
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Shards is the number of in-process serve.Service nodes.
+	Shards int
+	// VNodes is the consistent-hash points per shard (DefaultVNodes
+	// when <=0).
+	VNodes int
+	// Service configures every shard's serve layer.
+	Service serve.Config
+	// ReplicationFactor is how many shards hold a hot pattern (owner
+	// included). <=1 disables replication; capped at maxReplication.
+	ReplicationFactor int
+	// HotThreshold is the solve count at which a pattern is promoted
+	// to replicated. <=0 disables popularity promotion (Replicate can
+	// still be called explicitly).
+	HotThreshold uint64
+	// HedgeQueueDepth: hedge a solve to the replica when the primary's
+	// queue is at least this deep. <=0 disables the depth trigger.
+	HedgeQueueDepth int64
+	// HedgeP95: hedge when the primary's observed p95 exceeds this.
+	// <=0 disables the latency trigger.
+	HedgeP95 time.Duration
+	// TenantRate/TenantBurst are the per-tenant token-bucket admission
+	// parameters. Rate<=0 disables admission control.
+	TenantRate  float64
+	TenantBurst float64
+	// Straggler, when non-nil, injects an artificial pre-solve delay
+	// per shard id — the experiment hook for tail-latency studies.
+	Straggler func(shard int) time.Duration
+}
+
+// DefaultConfig is a 4-shard fleet with replication and hedging on.
+func DefaultConfig() Config {
+	return Config{
+		Shards:            4,
+		VNodes:            DefaultVNodes,
+		Service:           serve.DefaultConfig(),
+		ReplicationFactor: 2,
+		HotThreshold:      32,
+		HedgeQueueDepth:   4,
+		HedgeP95:          0, // depth trigger only, by default
+		TenantRate:        0, // admission control off
+		TenantBurst:       0,
+	}
+}
+
+// shard is one serve.Service node plus the router's per-shard state.
+type shard struct {
+	id     int
+	svc    *serve.Service
+	alive  atomic.Bool
+	solves atomic.Uint64
+	lat    latHist
+}
+
+// Fleet routes solve traffic over a set of serve.Service shards by
+// consistent-hashing each system's sparsity-pattern fingerprint. See
+// the package comment for the policy layers (replication, hedging,
+// quotas, drain).
+type Fleet struct {
+	cfg    Config
+	shards []*shard
+	quotas *quotas
+	m      metrics
+
+	// ring is the current placement; immutable, swapped atomically on
+	// drain so the routing path never takes a lock for membership.
+	ring atomic.Pointer[Ring]
+
+	closed atomic.Bool
+
+	// promotions tracks async popularity promotions so Close can wait
+	// them out.
+	promotions sync.WaitGroup
+
+	mu sync.Mutex
+	// replicas maps a replicated pattern to the shard ids holding it
+	// beyond the ring owner.
+	//gesp:guardedby:mu
+	replicas map[uint64][]int
+	// registry keeps every submitted system's matrix so the router can
+	// re-factor after an eviction and populate replicas on promotion.
+	//gesp:guardedby:mu
+	registry map[serve.Handle]*sparse.CSC
+	// popCount counts solves per pattern for hot promotion.
+	//gesp:guardedby:mu
+	popCount map[uint64]uint64
+	// rebalance, when non-nil, is the barrier requests wait on while a
+	// drain is moving cache entries; closed when the new ring is live.
+	//gesp:guardedby:mu
+	rebalance chan struct{}
+}
+
+// New builds and starts a fleet of cfg.Shards serve services.
+func New(cfg Config) *Fleet {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ReplicationFactor > maxReplication {
+		cfg.ReplicationFactor = maxReplication
+	}
+	f := &Fleet{
+		cfg:      cfg,
+		quotas:   newQuotas(cfg.TenantRate, cfg.TenantBurst),
+		replicas: make(map[uint64][]int),
+		registry: make(map[serve.Handle]*sparse.CSC),
+		popCount: make(map[uint64]uint64),
+	}
+	ids := make([]int, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		ids[i] = i
+		sh := &shard{id: i, svc: serve.New(cfg.Service)}
+		sh.alive.Store(true)
+		f.shards = append(f.shards, sh)
+	}
+	f.ring.Store(NewRing(ids, cfg.VNodes))
+	return f
+}
+
+// Submit registers the system with its pattern's home shard and
+// returns the handle solves are addressed by. When the pattern is
+// already replicated (a new value variant of a hot pattern), the
+// replicas are populated too, so hedged solves can land anywhere in
+// the placement.
+func (f *Fleet) Submit(tenant string, a *sparse.CSC) (serve.Handle, error) {
+	if f.closed.Load() {
+		return serve.Handle{}, serve.ErrClosed
+	}
+	if ok, wait := f.quotas.admit(tenant, time.Now()); !ok {
+		f.m.quotaDenied.Add(1)
+		return serve.Handle{}, &QuotaError{Tenant: tenant, RetryAfter: wait}
+	}
+	pattern := sparse.PatternHash(a)
+	for attempt := 0; attempt < 3; attempt++ {
+		var buf [maxReplication]int
+		n := f.placementInto(buf[:], pattern)
+		if n == 0 {
+			if err := f.awaitRebalance(context.Background()); err != nil {
+				return serve.Handle{}, err
+			}
+			continue
+		}
+		h, err := f.shards[buf[0]].svc.Submit(a)
+		if errors.Is(err, serve.ErrClosed) && !f.closed.Load() {
+			// Routed into a shard that began draining after placement;
+			// wait for the rebalance to land and re-route.
+			if werr := f.awaitRebalance(context.Background()); werr != nil {
+				return serve.Handle{}, werr
+			}
+			continue
+		}
+		if err != nil {
+			return serve.Handle{}, err
+		}
+		f.mu.Lock()
+		f.registry[h] = a
+		f.mu.Unlock()
+		for i := 1; i < n; i++ {
+			if _, rerr := f.shards[buf[i]].svc.Submit(a); rerr != nil {
+				// Replica population is best-effort; the owner holds the
+				// factors, so the solve path stays correct without it.
+				break
+			}
+		}
+		return h, nil
+	}
+	return serve.Handle{}, ErrNoShards
+}
+
+// Solve routes one right-hand side with the background context.
+func (f *Fleet) Solve(tenant string, h serve.Handle, b []float64) ([]float64, error) {
+	return f.SolveCtx(context.Background(), tenant, h, b)
+}
+
+// SolveCtx routes one right-hand side to the handle's placement:
+// admission control, then the home shard — hedged against the replica
+// when the primary looks slow, retried on the replica when the primary
+// sheds, healed from the registry when the factors were evicted, and
+// re-routed after a drain.
+func (f *Fleet) SolveCtx(ctx context.Context, tenant string, h serve.Handle, b []float64) ([]float64, error) {
+	if f.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	if ok, wait := f.quotas.admit(tenant, time.Now()); !ok {
+		f.m.quotaDenied.Add(1)
+		return nil, &QuotaError{Tenant: tenant, RetryAfter: wait}
+	}
+	f.m.routed.Add(1)
+	f.notePopularity(h)
+
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		var buf [maxReplication]int
+		n := f.placementInto(buf[:], h.Key.Pattern)
+		if n == 0 {
+			if f.closed.Load() {
+				return nil, serve.ErrClosed
+			}
+			if err := f.awaitRebalance(ctx); err != nil {
+				f.m.failed.Add(1)
+				return nil, err
+			}
+			lastErr = ErrNoShards
+			continue
+		}
+		primary := f.shards[buf[0]]
+		var replica *shard
+		if n > 1 {
+			replica = f.shards[buf[1]]
+		}
+		x, err := f.solvePlaced(ctx, primary, replica, h, b)
+		switch {
+		case err == nil:
+			return x, nil
+		case errors.Is(err, serve.ErrClosed):
+			// The shard drained under us: wait for its cache handoff to
+			// land, then re-route on the new ring.
+			if werr := f.awaitRebalance(ctx); werr != nil {
+				f.m.failed.Add(1)
+				return nil, werr
+			}
+			lastErr = err
+		case errors.Is(err, serve.ErrHandleExpired):
+			// Factors were evicted. Re-factor from the registered matrix
+			// and retry; fails only for handles the fleet never saw.
+			if !f.heal(h, buf[0]) {
+				f.m.failed.Add(1)
+				return nil, err
+			}
+			f.m.resubmits.Add(1)
+			lastErr = err
+		default:
+			f.m.failed.Add(1)
+			return nil, err
+		}
+	}
+	f.m.failed.Add(1)
+	return nil, lastErr
+}
+
+// solvePlaced runs one placed attempt: hedge when the primary looks
+// slow and a replica exists, otherwise solve on the primary with a
+// single replica retry if the primary sheds the request.
+func (f *Fleet) solvePlaced(ctx context.Context, primary, replica *shard, h serve.Handle, b []float64) ([]float64, error) {
+	if replica != nil && f.shouldHedge(primary) {
+		return f.solveHedged(ctx, primary, replica, h, b)
+	}
+	x, err := f.solveOn(ctx, primary, h, b)
+	if replica != nil && errors.Is(err, serve.ErrOverloaded) {
+		f.m.retries.Add(1)
+		return f.solveOn(ctx, replica, h, b)
+	}
+	return x, err
+}
+
+// shouldHedge is the hedging trigger: primary queue depth at or above
+// the threshold, or primary p95 above the threshold.
+func (f *Fleet) shouldHedge(primary *shard) bool {
+	if f.cfg.HedgeQueueDepth > 0 && primary.svc.QueueDepth() >= f.cfg.HedgeQueueDepth {
+		return true
+	}
+	if f.cfg.HedgeP95 > 0 && primary.lat.quantile(0.95) > f.cfg.HedgeP95 {
+		return true
+	}
+	return false
+}
+
+// solveHedged races the primary and the replica; the first response
+// wins and the loser's wait is cancelled (its request, if already
+// queued, is still solved with its batch — the batcher's done channels
+// are buffered, so nothing leaks).
+func (f *Fleet) solveHedged(ctx context.Context, primary, replica *shard, h serve.Handle, b []float64) ([]float64, error) {
+	f.m.hedged.Add(1)
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type hedgeResult struct {
+		x    []float64
+		err  error
+		from *shard
+	}
+	ch := make(chan hedgeResult, 2)
+	launch := func(sh *shard) {
+		x, err := f.solveOn(hctx, sh, h, b)
+		ch <- hedgeResult{x: x, err: err, from: sh}
+	}
+	go launch(primary)
+	go launch(replica)
+	first := <-ch
+	if first.err == nil {
+		if first.from == replica {
+			f.m.hedgeWins.Add(1)
+		}
+		return first.x, nil
+	}
+	second := <-ch
+	if second.err == nil {
+		if second.from == replica {
+			f.m.hedgeWins.Add(1)
+		}
+		return second.x, nil
+	}
+	// Both failed: report the primary-side error, which is the one the
+	// caller's retry ladder classifies (drain, eviction, overload).
+	if first.from == primary {
+		return nil, first.err
+	}
+	return nil, second.err
+}
+
+// solveOn runs one solve on one shard, applying the straggler hook and
+// recording the shard's latency observation on success.
+func (f *Fleet) solveOn(ctx context.Context, sh *shard, h serve.Handle, b []float64) ([]float64, error) {
+	t0 := time.Now()
+	if f.cfg.Straggler != nil {
+		if d := f.cfg.Straggler(sh.id); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+	}
+	x, err := sh.svc.SolveCtx(ctx, h, b)
+	if err != nil {
+		return nil, err
+	}
+	sh.lat.observe(time.Since(t0))
+	sh.solves.Add(1)
+	return x, nil
+}
+
+// heal re-factors an evicted handle on its owner shard from the
+// registered matrix. Returns false for handles the fleet never saw.
+func (f *Fleet) heal(h serve.Handle, owner int) bool {
+	f.mu.Lock()
+	a := f.registry[h]
+	f.mu.Unlock()
+	if a == nil {
+		return false
+	}
+	_, err := f.shards[owner].svc.Submit(a)
+	return err == nil
+}
+
+// notePopularity counts the solve against its pattern and kicks off an
+// async promotion the moment the pattern crosses HotThreshold.
+func (f *Fleet) notePopularity(h serve.Handle) {
+	if f.cfg.HotThreshold == 0 || f.cfg.ReplicationFactor < 2 {
+		return
+	}
+	pattern := h.Key.Pattern
+	f.mu.Lock()
+	f.popCount[pattern]++
+	crossed := f.popCount[pattern] == f.cfg.HotThreshold
+	if crossed && f.replicas[pattern] != nil {
+		crossed = false // already promoted (e.g. explicitly)
+	}
+	f.mu.Unlock()
+	if !crossed {
+		return
+	}
+	f.promotions.Add(1)
+	go func() {
+		defer f.promotions.Done()
+		//gesp:errok — best-effort promotion: failure leaves the pattern unreplicated and the next Replicate call retries
+		_ = f.Replicate(h)
+	}()
+}
+
+// Replicate populates the handle's pattern onto its ring-successor
+// replica shards: the owner's symbolic donor is shared (replicas skip
+// re-analysis entirely) and the registered matrix is factored on each
+// replica. Idempotent; also the deterministic entry point for tests
+// and benchmarks that cannot wait on popularity promotion.
+func (f *Fleet) Replicate(h serve.Handle) error {
+	rf := f.cfg.ReplicationFactor
+	if rf < 2 {
+		return nil
+	}
+	pattern := h.Key.Pattern
+	ring := f.ring.Load()
+	var buf [maxReplication]int
+	n := ring.ReplicasInto(buf[:rf], pattern)
+	if n < 2 {
+		return nil // nowhere to replicate
+	}
+	// Replicate every registered value-variant of the pattern, not just
+	// the handle that crossed the threshold: a hedged solve for any
+	// sibling variant must hit the replica's factor cache too.
+	f.mu.Lock()
+	var mats []*sparse.CSC
+	//gesp:unordered — variants factor independently; replica cache order is irrelevant
+	for rh, ra := range f.registry {
+		if rh.Key.Pattern == pattern {
+			mats = append(mats, ra)
+		}
+	}
+	f.mu.Unlock()
+	if len(mats) == 0 {
+		return fmt.Errorf("fleet: handle %+v has no registered matrix", h.Key)
+	}
+	owner := f.shards[buf[0]]
+	donor := owner.svc.ExportSymbolic(pattern)
+	placed := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		rep := f.shards[buf[i]]
+		if !rep.alive.Load() {
+			continue
+		}
+		if donor != nil {
+			if err := rep.svc.ImportSymbolic(pattern, donor); err != nil {
+				continue
+			}
+		}
+		ok := true
+		for _, a := range mats {
+			if _, err := rep.svc.Submit(a); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		placed = append(placed, rep.id)
+	}
+	if len(placed) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	f.replicas[pattern] = placed
+	f.mu.Unlock()
+	f.m.promoted.Add(1)
+	return nil
+}
+
+// placementInto writes the live placement for pattern into dst: the
+// ring owner first, then any promoted replicas. Returns how many
+// entries were written; 0 means every candidate is draining and the
+// caller should wait for the rebalance.
+func (f *Fleet) placementInto(dst []int, pattern uint64) int {
+	ring := f.ring.Load()
+	owner := ring.Owner(pattern)
+	if owner < 0 {
+		return 0
+	}
+	n := 0
+	if f.shards[owner].alive.Load() {
+		dst[n] = owner
+		n++
+	}
+	f.mu.Lock()
+	reps := f.replicas[pattern]
+	for _, id := range reps {
+		if n >= len(dst) {
+			break
+		}
+		if id == owner || !f.shards[id].alive.Load() {
+			continue
+		}
+		dup := false
+		for j := 0; j < n; j++ {
+			if dst[j] == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst[n] = id
+			n++
+		}
+	}
+	f.mu.Unlock()
+	return n
+}
+
+// awaitRebalance blocks until any in-flight drain's cache handoff has
+// landed and the new ring is live. A nil barrier means no drain is in
+// flight — placement already reflects the latest ring.
+func (f *Fleet) awaitRebalance(ctx context.Context) error {
+	f.mu.Lock()
+	barrier := f.rebalance
+	f.mu.Unlock()
+	if barrier == nil {
+		return nil
+	}
+	select {
+	case <-barrier:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain gracefully removes shard id from the fleet: it stops taking
+// new placements, finishes its queued work, and hands its cached
+// symbolic analyses and numeric factors to their new owners under the
+// post-drain ring — no request fails and nothing already factored is
+// factored again. Requests routed at the drained shard mid-handoff
+// wait on the rebalance barrier and re-route.
+func (f *Fleet) Drain(id int) error {
+	if id < 0 || id >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", id)
+	}
+	leaver := f.shards[id]
+
+	f.mu.Lock()
+	if f.rebalance != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: a rebalance is already in flight")
+	}
+	if !leaver.alive.Load() {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: shard %d is already drained", id)
+	}
+	survivors := make([]int, 0, len(f.shards)-1)
+	for _, sh := range f.shards {
+		if sh.id != id && sh.alive.Load() {
+			survivors = append(survivors, sh.id)
+		}
+	}
+	if len(survivors) == 0 {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: cannot drain the last live shard")
+	}
+	barrier := make(chan struct{})
+	f.rebalance = barrier
+	f.mu.Unlock()
+
+	// 1. Stop routing new work at the leaver. In-flight requests keep
+	// draining through its queues; anything that races the shutdown
+	// gets ErrClosed and parks on the barrier.
+	leaver.alive.Store(false)
+
+	// 2. Graceful stop: queued solves finish, cutters exit, both cache
+	// levels are exported.
+	exp := leaver.svc.Drain()
+
+	// 3. Hand every entry to its owner under the post-drain ring. The
+	// solvers move — never shared — so the single-writer contract on
+	// core.Solver survives the handoff.
+	next := NewRing(survivors, f.cfg.VNodes)
+	for _, es := range exp.Symbolic {
+		tgt := next.Owner(es.Pattern)
+		if err := f.shards[tgt].svc.ImportSymbolic(es.Pattern, es.Donor); err == nil {
+			f.m.handoffSym.Add(1)
+		}
+	}
+	for _, ef := range exp.Factors {
+		tgt := next.Owner(ef.Key.Pattern)
+		if _, err := f.shards[tgt].svc.ImportFactor(ef); err == nil {
+			f.m.handoffFac.Add(1)
+		}
+	}
+
+	// 4. Swap the ring, scrub the leaver from replica sets, release
+	// every request parked on the barrier.
+	f.ring.Store(next)
+	f.mu.Lock()
+	//gesp:unordered — per-pattern scrub; no cross-pattern ordering effects
+	for pattern, reps := range f.replicas {
+		kept := reps[:0]
+		for _, rid := range reps {
+			if rid != id {
+				kept = append(kept, rid)
+			}
+		}
+		if len(kept) == 0 {
+			delete(f.replicas, pattern)
+		} else {
+			f.replicas[pattern] = kept
+		}
+	}
+	f.rebalance = nil
+	close(barrier)
+	f.mu.Unlock()
+	f.m.drains.Add(1)
+	return nil
+}
+
+// Close drains nothing and moves nothing: it stops admission on every
+// shard, waits for queued work and async promotions to finish, and
+// returns. For cache-preserving removal of one shard, use Drain.
+func (f *Fleet) Close() {
+	if !f.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, sh := range f.shards {
+		sh.alive.Store(false)
+		sh.svc.Close()
+	}
+	f.promotions.Wait()
+}
+
+// Stats snapshots the router counters and every shard.
+func (f *Fleet) Stats() Stats {
+	s := f.m.snapshot()
+	for _, sh := range f.shards {
+		s.Shards = append(s.Shards, ShardStats{
+			ID:       sh.id,
+			Alive:    sh.alive.Load(),
+			Solves:   sh.solves.Load(),
+			P50:      sh.lat.quantile(0.50),
+			P95:      sh.lat.quantile(0.95),
+			P99:      sh.lat.quantile(0.99),
+			QueueLen: sh.svc.QueueDepth(),
+			Serve:    sh.svc.Stats(),
+		})
+	}
+	return s
+}
+
+// Ring exposes the current ring (for tests and the status endpoint).
+func (f *Fleet) Ring() *Ring { return f.ring.Load() }
+
+// NumShards returns the configured shard count (drained included).
+func (f *Fleet) NumShards() int { return len(f.shards) }

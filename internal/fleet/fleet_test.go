@@ -1,0 +1,367 @@
+package fleet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gesp/internal/matgen"
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+const testScale = 0.25
+
+type system struct {
+	a    *sparse.CSC
+	b    []float64
+	want []float64
+}
+
+func testbedSystem(t testing.TB, name string, valueSeed int64) system {
+	t.Helper()
+	m, ok := matgen.Lookup(name)
+	if !ok {
+		t.Fatalf("testbed matrix %s missing", name)
+	}
+	a := m.Generate(testScale)
+	if valueSeed != 0 {
+		rng := rand.New(rand.NewSource(valueSeed))
+		for k := range a.Val {
+			a.Val[k] *= 1 + 0.1*rng.NormFloat64()
+		}
+	}
+	want := make([]float64, a.Rows)
+	for i := range want {
+		want[i] = 1
+	}
+	b := make([]float64, a.Rows)
+	a.MatVec(b, want)
+	return system{a: a, b: b, want: want}
+}
+
+func checkSolution(t *testing.T, x, want []float64) {
+	t.Helper()
+	if e := sparse.RelErrInf(x, want); e > 2e-3 {
+		t.Fatalf("fleet solution error %g", e)
+	}
+}
+
+// quietConfig is a fleet with every optional policy off: no
+// replication, no hedging, no quotas — routing and drain only.
+func quietConfig(shards int) Config {
+	cfg := DefaultConfig()
+	cfg.Shards = shards
+	cfg.ReplicationFactor = 1
+	cfg.HotThreshold = 0
+	cfg.HedgeQueueDepth = 0
+	cfg.HedgeP95 = 0
+	return cfg
+}
+
+// TestFleetRoutingCorrectness: submits land on the pattern's ring
+// owner, solves are correct, and nothing runs anywhere else.
+func TestFleetRoutingCorrectness(t *testing.T) {
+	f := New(quietConfig(4))
+	defer f.Close()
+
+	names := []string{"SHERMAN4", "GEMAT11", "WEST2021"}
+	for _, name := range names {
+		sys := testbedSystem(t, name, 0)
+		h, err := f.Submit("tenant-a", sys.a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x, err := f.Solve("tenant-a", h, sys.b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkSolution(t, x, sys.want)
+
+		owner := f.Ring().Owner(sparse.PatternHash(sys.a))
+		st := f.Stats()
+		for _, sh := range st.Shards {
+			if sh.ID == owner && sh.Serve.Submits == 0 {
+				t.Fatalf("%s: owner shard %d never saw the submit", name, owner)
+			}
+		}
+	}
+	st := f.Stats()
+	var solves uint64
+	for _, sh := range st.Shards {
+		solves += sh.Solves
+	}
+	if solves != uint64(len(names)) || st.Routed != uint64(len(names)) {
+		t.Fatalf("solve accounting: %d shard solves, %d routed, want %d", solves, st.Routed, len(names))
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d failed requests on a healthy fleet", st.Failed)
+	}
+}
+
+// TestFleetReplicationSharesSymbolic: Replicate populates the ring
+// successor from the owner's exported symbolic donor — the replica
+// performs zero symbolic analyses of its own.
+func TestFleetReplicationSharesSymbolic(t *testing.T) {
+	cfg := quietConfig(3)
+	cfg.ReplicationFactor = 2
+	f := New(cfg)
+	defer f.Close()
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit("t", sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replicate(h); err != nil {
+		t.Fatal(err)
+	}
+	var buf [maxReplication]int
+	n := f.Ring().ReplicasInto(buf[:2], h.Key.Pattern)
+	if n != 2 {
+		t.Fatalf("placement size %d, want 2", n)
+	}
+	replica := f.shards[buf[1]]
+	rst := replica.svc.Stats()
+	if rst.SymbolicImports != 1 {
+		t.Fatalf("replica symbolic imports = %d, want 1 (donor handoff)", rst.SymbolicImports)
+	}
+	if rst.SymbolicMisses != 0 {
+		t.Fatalf("replica re-analyzed the pattern (%d symbolic misses); the donor must be shared", rst.SymbolicMisses)
+	}
+	if f.Stats().Promoted != 1 {
+		t.Fatalf("promoted counter = %d, want 1", f.Stats().Promoted)
+	}
+	// Replication is idempotent at the placement level.
+	if err := f.Replicate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetHedgingBeatsStraggler: with the home shard stragglered and
+// the pattern replicated, the p95 trigger hedges follow-up solves and
+// the healthy replica wins them.
+func TestFleetHedgingBeatsStraggler(t *testing.T) {
+	cfg := quietConfig(3)
+	cfg.ReplicationFactor = 2
+	cfg.HedgeP95 = time.Millisecond
+	f := New(cfg)
+	defer f.Close()
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit("t", sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replicate(h); err != nil {
+		t.Fatal(err)
+	}
+	owner := f.Ring().Owner(h.Key.Pattern)
+	f.cfg.Straggler = func(id int) time.Duration {
+		if id == owner {
+			return 10 * time.Millisecond
+		}
+		return 0
+	}
+	for i := 0; i < 8; i++ {
+		x, err := f.Solve("t", h, sys.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSolution(t, x, sys.want)
+	}
+	st := f.Stats()
+	if st.Hedged == 0 {
+		t.Fatalf("p95 %v over a 10ms straggler never hedged: %+v", cfg.HedgeP95, st)
+	}
+	if st.HedgeWins == 0 {
+		t.Fatalf("healthy replica never beat the stragglered primary: %+v", st)
+	}
+}
+
+// TestFleetQuota: a tenant over its token budget is rejected with the
+// typed QuotaError while other tenants sail through.
+func TestFleetQuota(t *testing.T) {
+	cfg := quietConfig(1)
+	cfg.TenantRate = 0.001 // effectively no refill within the test
+	cfg.TenantBurst = 3
+	f := New(cfg)
+	defer f.Close()
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit("greedy", sys.a) // token 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // tokens 2, 3
+		if _, err := f.Solve("greedy", h, sys.b); err != nil {
+			t.Fatalf("solve %d within budget: %v", i, err)
+		}
+	}
+	_, err = f.Solve("greedy", h, sys.b)
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over-budget solve: %v, want ErrOverQuota", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Tenant != "greedy" || qe.RetryAfter <= 0 {
+		t.Fatalf("quota rejection payload: %+v", qe)
+	}
+	if _, err := f.Solve("frugal", h, sys.b); err != nil {
+		t.Fatalf("other tenant must be unaffected: %v", err)
+	}
+	if f.Stats().QuotaDenied == 0 {
+		t.Fatal("quotaDenied counter never moved")
+	}
+}
+
+// TestFleetEvictionHeal: factors evicted under cache pressure are
+// re-factored from the fleet registry on the next solve instead of
+// surfacing ErrHandleExpired to the caller.
+func TestFleetEvictionHeal(t *testing.T) {
+	cfg := quietConfig(1)
+	cfg.Service.MaxFactors = 1
+	f := New(cfg)
+	defer f.Close()
+
+	sysA := testbedSystem(t, "SHERMAN4", 0)
+	sysB := testbedSystem(t, "GEMAT11", 0)
+	hA, err := f.Submit("t", sysA.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit("t", sysB.a); err != nil { // evicts A's factors
+		t.Fatal(err)
+	}
+	x, err := f.Solve("t", hA, sysA.b)
+	if err != nil {
+		t.Fatalf("evicted handle must heal, got %v", err)
+	}
+	checkSolution(t, x, sysA.want)
+	if f.Stats().Resubmits == 0 {
+		t.Fatal("heal never counted a resubmit")
+	}
+}
+
+// TestFleetDrainZeroFailureZeroRefactor is the drain acceptance test:
+// under concurrent load, draining a shard loses no request and — the
+// cache-handoff guarantee — causes zero new numeric factorizations.
+func TestFleetDrainZeroFailureZeroRefactor(t *testing.T) {
+	f := New(quietConfig(4))
+	defer f.Close()
+
+	names := []string{"SHERMAN4", "GEMAT11", "WEST2021"}
+	type entry struct {
+		sys system
+		h   serve.Handle
+	}
+	var pool []entry
+	for _, name := range names {
+		for v := int64(0); v < 2; v++ {
+			sys := testbedSystem(t, name, v)
+			h, err := f.Submit("t", sys.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Solve("t", h, sys.b); err != nil { // warm every factor
+				t.Fatal(err)
+			}
+			pool = append(pool, entry{sys, h})
+		}
+	}
+	runsWarm := f.Stats().FactorPhaseRuns()
+	if runsWarm == 0 {
+		t.Fatal("warmup ran no factorizations?")
+	}
+	target := f.Ring().Owner(pool[0].h.Key.Pattern)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := pool[rng.Intn(len(pool))]
+				if _, err := f.Solve("t", e.h, e.sys.b); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(int64(100 + c))
+	}
+	time.Sleep(20 * time.Millisecond) // let the load reach steady state
+	if err := f.Drain(target); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // keep hammering the post-drain ring
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("request failed across the drain: %v", err)
+	}
+
+	// Every pattern must still solve, on the shrunken ring, without a
+	// single new factorization: the drained shard's factors moved.
+	for _, e := range pool {
+		x, err := f.Solve("t", e.h, e.sys.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSolution(t, x, e.sys.want)
+	}
+	st := f.Stats()
+	if runs := st.FactorPhaseRuns(); runs != runsWarm {
+		t.Fatalf("drain refactored: %d factor runs post-drain, %d at warmup", runs, runsWarm)
+	}
+	if st.Drains != 1 || st.HandoffFactor == 0 {
+		t.Fatalf("drain accounting: drains=%d handoffFactors=%d", st.Drains, st.HandoffFactor)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d failed requests during drain, want 0", st.Failed)
+	}
+	for _, sh := range st.Shards {
+		if sh.ID == target {
+			if sh.Alive {
+				t.Fatal("drained shard still marked alive")
+			}
+			if sh.QueueLen != 0 {
+				t.Fatalf("drained shard still holds %d queued requests", sh.QueueLen)
+			}
+		}
+	}
+	// A second drain of the same shard must refuse.
+	if err := f.Drain(target); err == nil {
+		t.Fatal("double drain must error")
+	}
+}
+
+// TestFleetCloseRejects: a closed fleet rejects new work cleanly.
+func TestFleetCloseRejects(t *testing.T) {
+	f := New(quietConfig(2))
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit("t", sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Solve("t", h, sys.b); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("solve on closed fleet: %v, want ErrClosed", err)
+	}
+	if _, err := f.Submit("t", sys.a); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("submit on closed fleet: %v, want ErrClosed", err)
+	}
+	f.Close() // idempotent
+}

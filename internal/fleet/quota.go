@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOverQuota is the admission-control rejection class. The error
+// actually returned is a *QuotaError carrying the tenant and a
+// retry-after hint; errors.Is against this sentinel matches it.
+//
+// Quota rejections are deliberately typed apart from serve's
+// ErrOverloaded: an overloaded shard is a per-shard condition worth
+// retrying on a replica, while a quota rejection follows the tenant to
+// every shard — retrying elsewhere only burns router work.
+var ErrOverQuota = errors.New("fleet: tenant over quota")
+
+// QuotaError is the typed admission rejection.
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("fleet: tenant %q over quota, retry after %v", e.Tenant, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverQuota) true for the typed error.
+func (e *QuotaError) Is(target error) bool { return target == ErrOverQuota }
+
+// quotas is the per-tenant token-bucket table: each tenant accrues
+// rate tokens/second up to burst; a request spends one token or is
+// rejected with the time until the next token accrues. Buckets are
+// created on first sight of a tenant.
+type quotas struct {
+	rate  float64 // tokens per second; <=0 disables admission control
+	burst float64
+
+	mu sync.Mutex
+	//gesp:guardedby:mu
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// admit spends one of tenant's tokens at time now. When the bucket is
+// empty it returns false and the wait until one token has accrued.
+func (q *quotas) admit(tenant string, now time.Time) (bool, time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return false, wait
+}

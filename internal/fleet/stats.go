@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gesp/internal/serve"
+)
+
+// latBuckets is the per-shard latency histogram resolution: bucket i
+// counts solves that took <= 1µs·2^i, the last bucket is overflow
+// (~134s). Power-of-two buckets make the quantile estimate cheap and
+// lock-free — the hedging decision reads it on every routed solve.
+const latBuckets = 28
+
+// latHist is a lock-free cumulative latency histogram.
+type latHist struct {
+	counts [latBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	b := 0
+	for ub := int64(1000); b < latBuckets-1 && ns > ub; b++ {
+		ub <<= 1
+	}
+	h.counts[b].Add(1)
+	h.total.Add(1)
+}
+
+// quantile returns an upper bound for the q-quantile (q in (0,1]): the
+// top of the first bucket where the cumulative count reaches q·total.
+// Zero when nothing has been observed.
+func (h *latHist) quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	need := uint64(q * float64(total))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	ub := int64(1000)
+	for b := 0; b < latBuckets; b++ {
+		cum += h.counts[b].Load()
+		if cum >= need {
+			return time.Duration(ub)
+		}
+		ub <<= 1
+	}
+	return time.Duration(ub)
+}
+
+// metrics is the fleet router's accounting: lock-free counters in the
+// style of serve.Metrics, snapshotted into Stats on demand.
+type metrics struct {
+	routed      atomic.Uint64
+	hedged      atomic.Uint64
+	hedgeWins   atomic.Uint64 // hedges where the replica answered first
+	retries     atomic.Uint64 // overloaded-primary retries on a replica
+	resubmits   atomic.Uint64 // expired-handle heals from the registry
+	quotaDenied atomic.Uint64
+	promoted    atomic.Uint64 // patterns replicated after going hot
+	drains      atomic.Uint64
+	handoffFac  atomic.Uint64 // factor entries moved during drains
+	handoffSym  atomic.Uint64 // symbolic donors moved during drains
+	failed      atomic.Uint64 // requests that exhausted every route
+}
+
+// ShardStats is one shard's view in a fleet snapshot.
+type ShardStats struct {
+	ID       int           `json:"id"`
+	Alive    bool          `json:"alive"`
+	Solves   uint64        `json:"solves"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	QueueLen int64         `json:"queue_len"`
+	Serve    serve.Stats   `json:"serve"`
+}
+
+// Stats is a point-in-time fleet snapshot: router counters plus every
+// shard's serve.Stats.
+type Stats struct {
+	Routed        uint64 `json:"routed"`
+	Hedged        uint64 `json:"hedged"`
+	HedgeWins     uint64 `json:"hedge_wins"`
+	Retries       uint64 `json:"retries"`
+	Resubmits     uint64 `json:"resubmits"`
+	QuotaDenied   uint64 `json:"quota_denied"`
+	Promoted      uint64 `json:"promoted"`
+	Drains        uint64 `json:"drains"`
+	HandoffFactor uint64 `json:"handoff_factors"`
+	HandoffSym    uint64 `json:"handoff_symbolic"`
+	Failed        uint64 `json:"failed"`
+
+	Shards []ShardStats `json:"shards"`
+}
+
+func (m *metrics) snapshot() Stats {
+	return Stats{
+		Routed:        m.routed.Load(),
+		Hedged:        m.hedged.Load(),
+		HedgeWins:     m.hedgeWins.Load(),
+		Retries:       m.retries.Load(),
+		Resubmits:     m.resubmits.Load(),
+		QuotaDenied:   m.quotaDenied.Load(),
+		Promoted:      m.promoted.Load(),
+		Drains:        m.drains.Load(),
+		HandoffFactor: m.handoffFac.Load(),
+		HandoffSym:    m.handoffSym.Load(),
+		Failed:        m.failed.Load(),
+	}
+}
+
+// HedgeRate returns hedged/routed, or 0 before any traffic.
+func (s Stats) HedgeRate() float64 {
+	if s.Routed == 0 {
+		return 0
+	}
+	return float64(s.Hedged) / float64(s.Routed)
+}
+
+// HealRate returns resubmits/routed: the fraction of solves that found
+// their factors evicted and had to re-factor from the registry — the
+// cache-thrash signal for a shard count that can't hold the working
+// set.
+func (s Stats) HealRate() float64 {
+	if s.Routed == 0 {
+		return 0
+	}
+	return float64(s.Resubmits) / float64(s.Routed)
+}
+
+// FactorHitRate aggregates the factor-cache hit rate over all shards.
+func (s Stats) FactorHitRate() float64 {
+	var hits, misses uint64
+	for _, sh := range s.Shards {
+		hits += sh.Serve.FactorHits
+		misses += sh.Serve.FactorMisses
+	}
+	return serve.HitRate(hits, misses)
+}
+
+// FactorPhaseRuns sums, over all shards, how many numeric
+// factorizations each serve layer actually executed (its PhaseFactor
+// count). Handoffs and cache hits leave it unchanged, which is how the
+// drain experiment proves a rebalance re-factored nothing.
+func (s Stats) FactorPhaseRuns() int64 {
+	var runs int64
+	for _, sh := range s.Shards {
+		runs += sh.Serve.Phases[serve.PhaseFactor.String()].Count
+	}
+	return runs
+}
+
+// String renders the router-level summary plus one line per shard.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "routed %d  hedged %d (wins %d)  retries %d  resubmits %d  quota-denied %d  failed %d\n",
+		s.Routed, s.Hedged, s.HedgeWins, s.Retries, s.Resubmits, s.QuotaDenied, s.Failed)
+	fmt.Fprintf(&b, "promoted %d  drains %d  handoff %d factors + %d symbolic  heal %.1f%%\n",
+		s.Promoted, s.Drains, s.HandoffFactor, s.HandoffSym, 100*s.HealRate())
+	for _, sh := range s.Shards {
+		state := "alive"
+		if !sh.Alive {
+			state = "drained"
+		}
+		fmt.Fprintf(&b, "shard %d [%s]: solves %-8d p50 %-10v p95 %-10v p99 %-10v queue %d  fac %d/%d hit  imports %d\n",
+			sh.ID, state, sh.Solves, sh.P50, sh.P95, sh.P99, sh.QueueLen,
+			sh.Serve.FactorHits, sh.Serve.FactorHits+sh.Serve.FactorMisses, sh.Serve.FactorImports)
+	}
+	return b.String()
+}

@@ -9,6 +9,7 @@ import (
 
 	"gesp/internal/core"
 	"gesp/internal/dist"
+	"gesp/internal/fleet"
 	"gesp/internal/kernels"
 	"gesp/internal/lu"
 	"gesp/internal/matgen"
@@ -93,6 +94,48 @@ func Run(scale float64, quick bool) (*File, error) {
 			fn: checked(func() error { _, err := superlu.FactorizeParallel(ap, sym, opts, 0); return err })},
 	)
 
+	// Fleet routing: the consistent-hash lookup sits on every routed
+	// solve, so its zero-alloc guarantee is gated; the end-to-end warm
+	// solve through the router is recorded for the trajectory.
+	ring := fleet.NewRing([]int{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	keys := make([]uint64, 1024)
+	k := uint64(0x9e3779b97f4a7c15)
+	for i := range keys {
+		k ^= k << 13
+		k ^= k >> 7
+		k ^= k << 17
+		keys[i] = k
+	}
+	ringSink := 0
+	benches = append(benches, bench{
+		name: "fleet/ring-owner/8shards", class: "fleet", hot: true, measAll: true,
+		iters: len(keys),
+		fn: func() {
+			for _, key := range keys {
+				ringSink += ring.Owner(key)
+			}
+		},
+	})
+
+	fcfg := fleet.DefaultConfig()
+	fcfg.Service.Options.Refine = false
+	fcfg.Service.MaxDelay = 0
+	fl := fleet.New(fcfg)
+	defer fl.Close()
+	fh, err := fl.Submit("perf", a)
+	if err != nil {
+		return nil, fmt.Errorf("perf: fleet submit: %w", err)
+	}
+	fb := matgen.OnesRHS(a)
+	if _, err := fl.Solve("perf", fh, fb); err != nil {
+		return nil, fmt.Errorf("perf: fleet warm solve: %w", err)
+	}
+	benches = append(benches, bench{
+		name: "fleet/solve-warm/" + Matrix, class: "fleet", hot: false,
+		flops: float64(2 * (len(f.LVal) + len(f.UVal))), iters: 1,
+		fn: checked(func() error { _, err := fl.Solve("perf", fh, fb); return err }),
+	})
+
 	out := &File{
 		SchemaVersion: SchemaVersion,
 		GoVersion:     runtime.Version(),
@@ -119,6 +162,9 @@ func Run(scale float64, quick bool) (*File, error) {
 		NsPerOp: float64(time.Since(t0).Nanoseconds()), AllocsPerOp: -1,
 		FlopsPerOp: engFlops, Mflops: res.Factor.Mflops,
 	})
+	if ringSink == -1 {
+		return nil, fmt.Errorf("perf: impossible ring owner sum")
+	}
 	return out, nil
 }
 

@@ -37,6 +37,11 @@ type batcher struct {
 	queue []solveReq
 	//gesp:guardedby:mu
 	running bool
+	//gesp:guardedby:mu
+	closed bool
+	// drained (a condition on mu) is broadcast when the cutter exits;
+	// close waits on it until the queue has fully drained.
+	drained sync.Cond
 
 	// Cutter-private scratch, reused across cuts. The cutter is
 	// single-flight (run exits before running flips false), so one set of
@@ -66,7 +71,7 @@ type solveDone struct {
 }
 
 func newBatcher(solver solveBackend, maxBatch int, maxDelay time.Duration, queueCap int, m *Metrics) *batcher {
-	return &batcher{
+	b := &batcher{
 		solver:   solver,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
@@ -74,6 +79,8 @@ func newBatcher(solver solveBackend, maxBatch int, maxDelay time.Duration, queue
 		m:        m,
 		fill:     make(chan struct{}, 1),
 	}
+	b.drained.L = &b.mu
+	return b
 }
 
 // submit enqueues one right-hand side and blocks until its batch has
@@ -86,10 +93,23 @@ func newBatcher(solver solveBackend, maxBatch int, maxDelay time.Duration, queue
 func (b *batcher) submit(ctx context.Context, rhs []float64) ([]float64, error) {
 	req := solveReq{b: rhs, enq: time.Now(), done: make(chan solveDone, 1)}
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if len(b.queue) >= b.queueCap {
+		depth := len(b.queue)
 		b.mu.Unlock()
 		b.m.shed.Add(1)
-		return nil, ErrOverloaded
+		// RetryAfter is the admission heuristic: one more delay window is
+		// roughly when the oldest queued batch will have been cut, freeing
+		// queue slots. A router holding a replica should prefer it over
+		// waiting this out.
+		hint := b.maxDelay
+		if hint <= 0 {
+			hint = 100 * time.Microsecond
+		}
+		return nil, &OverloadedError{QueueDepth: depth, RetryAfter: hint}
 	}
 	b.queue = append(b.queue, req)
 	depth := len(b.queue)
@@ -123,12 +143,15 @@ func (b *batcher) run() {
 		b.mu.Lock()
 		if len(b.queue) == 0 {
 			b.running = false
+			b.drained.Broadcast()
 			b.mu.Unlock()
 			return
 		}
-		if len(b.queue) < b.maxBatch {
+		if len(b.queue) < b.maxBatch && !b.closed {
 			// Not full: hold admission until the oldest request has
-			// waited out maxDelay or the queue fills, then cut.
+			// waited out maxDelay or the queue fills, then cut. A closed
+			// batcher skips the wait — nothing further can arrive, so
+			// drain at full speed.
 			wait := b.maxDelay - time.Since(b.queue[0].enq)
 			if wait > 0 {
 				b.mu.Unlock()
@@ -163,6 +186,25 @@ func (b *batcher) run() {
 			batch[i] = solveReq{} // release references until the next cut
 		}
 	}
+}
+
+// close stops admission (later submits get ErrClosed) and blocks until
+// the cutter has solved everything already queued and exited. Closing
+// an idle or already-closed batcher returns immediately; queued
+// requests are never abandoned — graceful drain, not abort.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	// Nudge a cutter parked in its delay window so the drain does not
+	// wait out the admission timer.
+	select {
+	case b.fill <- struct{}{}:
+	default:
+	}
+	for b.running {
+		b.drained.Wait()
+	}
+	b.mu.Unlock()
 }
 
 // exec solves one batch and fans the results (or the shared error) back

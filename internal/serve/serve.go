@@ -35,7 +35,10 @@ import (
 // anything else is a caller or numerical error.
 var (
 	// ErrOverloaded means the target factor's solve queue was full; the
-	// request was shed without queueing. Retry with backoff.
+	// request was shed without queueing. Retry with backoff. The error
+	// actually returned is an *OverloadedError carrying the observed
+	// queue depth and a retry-after hint; errors.Is against this
+	// sentinel matches it.
 	ErrOverloaded = errors.New("serve: overloaded, solve queue full")
 	// ErrHandleExpired means the handle's factorization is not resident
 	// — either it was evicted under memory pressure or it was never
@@ -44,6 +47,29 @@ var (
 	// ErrClosed means the service has been shut down.
 	ErrClosed = errors.New("serve: service closed")
 )
+
+// OverloadedError is the typed overload rejection: the request was shed
+// because its factor's solve queue held QueueDepth requests already.
+// RetryAfter is a backoff hint — roughly one admission window, the
+// earliest the queue can plausibly have drained a batch. A fleet router
+// uses the distinction this type carries: an overloaded shard is worth
+// retrying on a replica immediately (the load is per-shard), whereas a
+// quota rejection is not (the quota follows the tenant).
+//
+// errors.Is(err, ErrOverloaded) matches an *OverloadedError, so callers
+// that only care about the class keep working unchanged.
+type OverloadedError struct {
+	QueueDepth int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: overloaded, solve queue full (depth %d, retry after %v)",
+		e.QueueDepth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for the typed error.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Config tunes the service. DefaultConfig is the intended starting
 // point; New fills any zero numeric field with the default.
@@ -333,6 +359,24 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Close stops admitting work. Requests already queued finish; their
-// batcher goroutines exit once drained.
-func (s *Service) Close() { s.closed.Store(true) }
+// QueueDepth is the instantaneous number of queued, not-yet-batched
+// solve requests across all factors — the router-facing load signal a
+// fleet uses for hedging decisions. Cheaper than a full Stats snapshot.
+func (s *Service) QueueDepth() int64 { return s.m.queueDepth.Load() }
+
+// Close stops admitting work (Submit and Solve return ErrClosed), then
+// drains gracefully: it blocks until every batcher has solved the
+// requests already queued and its cutter goroutine has exited. Safe to
+// call concurrently and more than once; only the first call drains.
+func (s *Service) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// The closed flag stops new enqueues at the Service layer; the
+	// per-batcher closed flag (set by close) stops the stragglers that
+	// passed the flag check before the flip. Each close blocks until
+	// that batcher's queue is empty and its cutter has exited.
+	for _, e := range s.c.factorEntries() {
+		e.bat.close()
+	}
+}

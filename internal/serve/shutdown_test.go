@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherCloseDrains blocks the cutter inside a batch, queues more
+// work behind it, closes the batcher, and requires (a) close to block
+// until every queued request has been solved, (b) queued requests to
+// get real results, not aborts, and (c) a post-close submit to be
+// rejected with ErrClosed.
+func TestBatcherCloseDrains(t *testing.T) {
+	var m Metrics
+	fb := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 8)}
+	bat := newBatcher(fb, 2, time.Hour, 64, &m) // huge delay: drain must not wait it out
+
+	results := make(chan error, 8)
+	submit := func(tag float64) {
+		_, err := bat.submit(context.Background(), []float64{tag})
+		results <- err
+	}
+	// Two submits fill maxBatch, so the first cut happens immediately
+	// instead of waiting out the (deliberately huge) delay window.
+	const inflight = 2
+	go submit(1)
+	go submit(2)
+	<-fb.entered // cutter blocked inside batch [1 2]
+	const queued = 5
+	for i := 0; i < queued; i++ {
+		go submit(float64(3 + i))
+	}
+	for deadline := time.Now().Add(5 * time.Second); m.queueDepth.Load() < queued; {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never queued")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		bat.close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("close returned while the cutter was still blocked mid-batch")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	fb.release()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never returned after the backend was released")
+	}
+	// Close has returned: every request (the in-flight batch and all
+	// queued ones) must have been answered, not abandoned. (The result
+	// is in each request's done channel by now; the submitter goroutines
+	// just need a beat to forward it.)
+	for i := 0; i < queued+inflight; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatalf("queued request aborted during close: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("close returned with %d request(s) still unresolved", queued+inflight-i)
+		}
+	}
+	if m.queueDepth.Load() != 0 {
+		t.Fatalf("queue depth %d after close", m.queueDepth.Load())
+	}
+
+	if _, err := bat.submit(context.Background(), []float64{9}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	bat.close() // idempotent
+}
+
+// TestServiceCloseDrains is the service-level shutdown test: concurrent
+// solves race Close; Close must block until the cutter goroutines have
+// drained, every request must end as a real solution or a clean
+// ErrClosed, and nothing may be abandoned mid-queue.
+func TestServiceCloseDrains(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatch = 4
+	cfg.MaxDelay = 200 * time.Microsecond
+	svc := New(cfg)
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := svc.Submit(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			x, err := svc.Solve(h, sys.b)
+			if err == nil {
+				checkSolution(t, x, sys.want)
+			}
+			errc <- err
+		}()
+	}
+	close(start)
+	svc.Close() // races the solves; must drain, not abort
+	wg.Wait()
+	close(errc)
+
+	var solved, closed int
+	for err := range errc {
+		switch {
+		case err == nil:
+			solved++
+		case errors.Is(err, ErrClosed):
+			closed++
+		default:
+			t.Fatalf("solve during shutdown: %v", err)
+		}
+	}
+	if solved+closed != clients {
+		t.Fatalf("accounted for %d of %d requests", solved+closed, clients)
+	}
+	if d := svc.Stats().QueueDepth; d != 0 {
+		t.Fatalf("queue depth %d after Close returned, want 0 (Close must drain)", d)
+	}
+	svc.Close() // idempotent
+}
+
+// TestOverloadedErrorTyped pins the typed overload rejection: it must
+// match the ErrOverloaded sentinel through errors.Is AND surface the
+// queue depth and a positive retry-after hint through errors.As — the
+// payload a fleet router keys its shed-vs-retry decision on.
+func TestOverloadedErrorTyped(t *testing.T) {
+	const cap = 3
+	var m Metrics
+	fb := &fakeBackend{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	bat := newBatcher(fb, 1, 0, cap, &m)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); bat.submit(context.Background(), []float64{0}) }()
+	<-fb.entered
+	for i := 0; i < cap; i++ {
+		wg.Add(1)
+		go func(tag float64) { defer wg.Done(); bat.submit(context.Background(), []float64{tag}) }(float64(i + 1))
+	}
+	for deadline := time.Now().Add(5 * time.Second); m.queueDepth.Load() < cap; {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	_, err := bat.submit(context.Background(), []float64{99})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("typed overload does not match sentinel: %v", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overload rejection is not an *OverloadedError: %v", err)
+	}
+	if oe.QueueDepth != cap {
+		t.Fatalf("QueueDepth = %d, want %d", oe.QueueDepth, cap)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want positive hint", oe.RetryAfter)
+	}
+	fb.release()
+	wg.Wait()
+}
