@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race checktest chaostest servebench fleetbench faultbench perfsmoke verify bench
+.PHONY: build test vet lint race checktest chaostest fleetchaos servebench fleetbench faultbench perfsmoke verify bench
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ lint:
 # batching solve service, the sharded fleet router above it, and the
 # shared micro-kernels (read-only operand concurrency).
 race:
-	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/... ./internal/fleet/... ./internal/kernels/...
+	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/... ./internal/fleet/... ./internal/fleetrpc/... ./internal/kernels/...
 
 # Checked build: rerun the test suite with the gespcheck tag, which
 # re-validates every structural invariant (CSC columns, supernode
@@ -41,6 +41,17 @@ checktest:
 # batcher, or breaks deterministic recovery fails loudly.
 chaostest:
 	$(GO) test -race -tags gespcheck ./internal/faultsim/... ./internal/resilience/... ./internal/core/... ./internal/serve/... ./internal/mpisim/... ./internal/dist/...
+
+# Process-kill chaos: the cross-process fleet under real SIGKILL and
+# SIGSTOP — the re-exec'd shard processes, health-checked membership,
+# retry/hedge failover, and the prober-only rejoin path — plus a short
+# run of the fleetproc ablation so the end-to-end chaos pipeline
+# (spawn, load, kill, detect, report) stays wired. These tests skip
+# themselves under -short, which is why `make race` does not cover
+# them.
+fleetchaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestSpawnAndKill' ./internal/fleetrpc/ ./internal/faultsim/
+	$(GO) run ./cmd/gesp-bench -exp fleetproc -fleet-workers 4 -fleet-duration 500ms -scale 0.2
 
 # Serving-layer smoke: one short closed-loop throughput measurement
 # plus a single-iteration run of the serve benchmark. Catches wiring
@@ -77,9 +88,10 @@ perfsmoke:
 
 # The full pre-commit gate: static checks, build, the complete test
 # suite, the race detector over the concurrent packages, the
-# invariant-checked build, the fault drill, the serving-layer smoke,
-# the fault-recovery smoke, and the perf-gate smoke.
-verify: vet lint build test race checktest chaostest servebench fleetbench faultbench perfsmoke
+# invariant-checked build, the fault drill, the process-kill chaos
+# drill, the serving-layer smoke, the fault-recovery smoke, and the
+# perf-gate smoke.
+verify: vet lint build test race checktest chaostest fleetchaos servebench fleetbench faultbench perfsmoke
 
 # Full benchmark sweep: every package's Go benchmarks, then the
 # schema-versioned bench file (ns/op, allocs/op, Mflops per kernel and

@@ -1,17 +1,26 @@
-// Command gesp-fleet runs a sharded GESP solve fleet: N in-process
-// serve.Service shards behind a consistent-hash router, with hot-pattern
-// replication, hedged solves against stragglers, per-tenant admission
-// control, and graceful shard drain. It speaks the same HTTP JSON API as
-// gesp-serve, plus a drain endpoint; tenants identify themselves with an
-// X-Tenant header.
+// Command gesp-fleet runs a sharded GESP solve fleet in one of two
+// modes.
 //
-// API:
+// Default (in-process): N serve.Service shards behind a consistent-hash
+// router, with hot-pattern replication, hedged solves against
+// stragglers, per-tenant admission control, and graceful shard drain.
+//
+// -join (cross-process): no shards of its own — a fleetrpc coordinator
+// over already-running gesp-serve processes, with health-checked
+// membership, retry/backoff, a hedging budget, and degraded fallback:
+//
+//	gesp-serve -addr :9001 &
+//	gesp-serve -addr :9002 &
+//	gesp-fleet -join 127.0.0.1:9001,127.0.0.1:9002
+//
+// Both modes speak the same HTTP JSON API; tenants identify themselves
+// with an X-Tenant header (in-process mode only).
 //
 //	POST /v1/matrix  {"n":N,"rows":[...],"cols":[...],"vals":[...]}
 //	                 -> {"handle":"p….v….n…","n":N,"nnz":…,"shard":…}
 //	POST /v1/solve   {"handle":"…","b":[...]}
 //	                 -> {"x":[...]}
-//	GET  /v1/stats   -> fleet.Stats JSON
+//	GET  /v1/stats   -> fleet.Stats (or fleetrpc.Stats) JSON
 //	POST /v1/drain   {"shard":K}
 //	                 -> {"drained":K}  (caches hand off; no refactorization)
 //
@@ -28,13 +37,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"strconv"
+	"strings"
 	"time"
 
 	"gesp/internal/experiments"
 	"gesp/internal/fleet"
+	"gesp/internal/fleetrpc"
 	"gesp/internal/serve"
-	"gesp/internal/sparse"
 )
 
 func main() {
@@ -48,6 +57,8 @@ func main() {
 		hotThresh   = flag.Uint64("hot-threshold", 32, "solve count that promotes a pattern to replicated (0 disables)")
 		hedgeDepth  = flag.Int64("hedge-queue-depth", 4, "hedge to the replica when the primary queue is this deep (0 disables)")
 		hedgeP95    = flag.Duration("hedge-p95", 0, "hedge when the primary's observed p95 exceeds this (0 disables)")
+		hedgeBudget = flag.Float64("hedge-budget", 0, "cap hedges at this fraction of routed traffic (0 = unlimited)")
+		hedgeBurst  = flag.Float64("hedge-burst", 8, "hedge token-bucket capacity when -hedge-budget is set")
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admitted requests per second (0 = no admission control)")
 		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst")
 
@@ -56,6 +67,12 @@ func main() {
 		queueCap = flag.Int("queue-cap", 256, "per-shard per-factor solve queue bound")
 		maxFac   = flag.Int("max-factors", 1024, "per-shard factor cache entry cap")
 		noRefine = flag.Bool("no-refine", false, "skip iterative refinement on served solves")
+
+		join       = flag.String("join", "", "cross-process mode: comma-separated gesp-serve shard addresses to coordinate over")
+		probeEvery = flag.Duration("probe-interval", 50*time.Millisecond, "join: health-check period")
+		hedgeAfter = flag.Duration("hedge-after", 100*time.Millisecond, "join: hedge to the replica when the primary hasn't answered in this long (0 disables)")
+		reqTimeout = flag.Duration("request-timeout", 2*time.Second, "join: per-attempt solve deadline")
+		degraded   = flag.Bool("degraded-fallback", true, "join: answer via a live shard's iterative path when every placement is down")
 
 		loadMode = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
 		workers  = flag.Int("workers", 8, "load: concurrent closed-loop workers")
@@ -69,6 +86,25 @@ func main() {
 	)
 	flag.Parse()
 
+	if *join != "" {
+		rcfg := fleetrpc.DefaultConfig(strings.Split(*join, ","))
+		rcfg.Replication = *replication
+		rcfg.VNodes = *vnodes
+		rcfg.ProbeInterval = *probeEvery
+		rcfg.HedgeAfter = *hedgeAfter
+		rcfg.HedgeBudget = *hedgeBudget
+		rcfg.HedgeBurst = *hedgeBurst
+		rcfg.RequestTimeout = *reqTimeout
+		rcfg.DegradedFallback = *degraded
+		rf, err := fleetrpc.New(rcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("coordinating %d remote shards on %s (replication %d, hedge after %v, budget %.2f)",
+			len(rcfg.Addrs), *addr, rcfg.Replication, rcfg.HedgeAfter, rcfg.HedgeBudget)
+		log.Fatal(http.ListenAndServe(*addr, remoteMux(rf)))
+	}
+
 	cfg := fleet.DefaultConfig()
 	cfg.Shards = *shards
 	cfg.VNodes = *vnodes
@@ -76,6 +112,8 @@ func main() {
 	cfg.HotThreshold = *hotThresh
 	cfg.HedgeQueueDepth = *hedgeDepth
 	cfg.HedgeP95 = *hedgeP95
+	cfg.HedgeBudget = *hedgeBudget
+	cfg.HedgeBurst = *hedgeBurst
 	cfg.TenantRate = *tenantRate
 	cfg.TenantBurst = *tenantBurst
 	cfg.Service.MaxBatch = *maxBatch
@@ -143,27 +181,11 @@ func tenant(r *http.Request) string {
 	return "default"
 }
 
-type matrixRequest struct {
-	N    int       `json:"n"`
-	Rows []int     `json:"rows"`
-	Cols []int     `json:"cols"`
-	Vals []float64 `json:"vals"`
-}
-
 type matrixResponse struct {
 	Handle string `json:"handle"`
 	N      int    `json:"n"`
 	Nnz    int    `json:"nnz"`
 	Shard  int    `json:"shard"`
-}
-
-type solveRequest struct {
-	Handle string    `json:"handle"`
-	B      []float64 `json:"b"`
-}
-
-type solveResponse struct {
-	X []float64 `json:"x"`
 }
 
 type drainRequest struct {
@@ -186,9 +208,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeErr maps fleet/serve error taxonomy onto HTTP. Quota and
+// writeErr maps the fleet/serve error taxonomy onto HTTP. Quota and
 // overload rejections carry a Retry-After so well-behaved tenants can
-// pace themselves.
+// pace themselves; the header speaks whole seconds, so sub-second
+// hints round up (fleetrpc.SetRetryAfter), never down to the "retry
+// immediately" zero the hint exists to prevent.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var qe *fleet.QuotaError
@@ -196,15 +220,16 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &qe):
 		status = http.StatusTooManyRequests
-		setRetryAfter(w, qe.RetryAfter)
+		fleetrpc.SetRetryAfter(w, qe.RetryAfter)
 	case errors.As(err, &oe):
 		status = http.StatusServiceUnavailable
-		setRetryAfter(w, oe.RetryAfter)
+		fleetrpc.SetRetryAfter(w, oe.RetryAfter)
 	case errors.Is(err, serve.ErrOverloaded):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrHandleExpired):
 		status = http.StatusGone // resubmit the matrix
-	case errors.Is(err, serve.ErrClosed), errors.Is(err, fleet.ErrNoShards):
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, fleet.ErrNoShards),
+		errors.Is(err, fleetrpc.ErrNoLiveShards):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
@@ -212,22 +237,14 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func setRetryAfter(w http.ResponseWriter, d time.Duration) {
-	secs := int(d.Seconds())
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-}
-
 func handleMatrix(f *fleet.Fleet) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		var req matrixRequest
+		var req fleetrpc.MatrixRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, fmt.Errorf("bad matrix body: %w", err))
 			return
 		}
-		a, err := assembleMatrix(req)
+		a, err := fleetrpc.AssembleMatrix(req)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -242,28 +259,9 @@ func handleMatrix(f *fleet.Fleet) http.HandlerFunc {
 	}
 }
 
-func assembleMatrix(req matrixRequest) (*sparse.CSC, error) {
-	if req.N <= 0 {
-		return nil, fmt.Errorf("matrix dimension %d, want positive", req.N)
-	}
-	if len(req.Rows) != len(req.Vals) || len(req.Cols) != len(req.Vals) {
-		return nil, fmt.Errorf("triplet arrays disagree: %d rows, %d cols, %d vals",
-			len(req.Rows), len(req.Cols), len(req.Vals))
-	}
-	t := sparse.NewTriplet(req.N, req.N)
-	for k := range req.Vals {
-		i, j := req.Rows[k], req.Cols[k]
-		if i < 0 || i >= req.N || j < 0 || j >= req.N {
-			return nil, fmt.Errorf("entry %d at (%d,%d) outside %dx%d", k, i, j, req.N, req.N)
-		}
-		t.Append(i, j, req.Vals[k])
-	}
-	return t.ToCSC(), nil
-}
-
 func handleSolve(f *fleet.Fleet) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		var req solveRequest
+		var req fleetrpc.SolveRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, fmt.Errorf("bad solve body: %w", err))
 			return
@@ -278,7 +276,7 @@ func handleSolve(f *fleet.Fleet) http.HandlerFunc {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, solveResponse{X: x})
+		writeJSON(w, http.StatusOK, fleetrpc.SolveResponse{X: x})
 	}
 }
 
@@ -301,4 +299,86 @@ func handleDrain(f *fleet.Fleet) http.HandlerFunc {
 		}
 		writeJSON(w, http.StatusOK, drainResponse{Drained: req.Shard})
 	}
+}
+
+// remoteMux serves the same API over a fleetrpc coordinator. Errors
+// from remote shards pass their status (and Retry-After) through.
+func remoteMux(f *fleetrpc.Fleet) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrix", func(w http.ResponseWriter, r *http.Request) {
+		var req fleetrpc.MatrixRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeRemoteErr(w, fmt.Errorf("bad matrix body: %w", err))
+			return
+		}
+		a, err := fleetrpc.AssembleMatrix(req)
+		if err != nil {
+			writeRemoteErr(w, err)
+			return
+		}
+		h, err := f.SubmitCtx(r.Context(), a)
+		if err != nil {
+			writeRemoteErr(w, err)
+			return
+		}
+		owner := f.Ring().Owner(h.Key.Pattern)
+		writeJSON(w, http.StatusOK, matrixResponse{Handle: h.String(), N: h.N, Nnz: a.Nnz(), Shard: owner})
+	})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var req fleetrpc.SolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeRemoteErr(w, fmt.Errorf("bad solve body: %w", err))
+			return
+		}
+		h, err := serve.ParseHandle(req.Handle)
+		if err != nil {
+			writeRemoteErr(w, err)
+			return
+		}
+		x, err := f.SolveCtx(r.Context(), h, req.B)
+		if err != nil {
+			writeRemoteErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleetrpc.SolveResponse{X: x})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Stats())
+	})
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		var req drainRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeRemoteErr(w, fmt.Errorf("bad drain body: %w", err))
+			return
+		}
+		if err := f.Drain(r.Context(), req.Shard); err != nil {
+			writeRemoteErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, drainResponse{Drained: req.Shard})
+	})
+	return mux
+}
+
+// writeRemoteErr maps coordinator errors: a shard's own HTTP error
+// passes through with its status and Retry-After; coordinator-level
+// conditions map like writeErr.
+func writeRemoteErr(w http.ResponseWriter, err error) {
+	var re *fleetrpc.RemoteError
+	if errors.As(err, &re) {
+		if re.RetryAfter > 0 {
+			fleetrpc.SetRetryAfter(w, re.RetryAfter)
+		}
+		writeJSON(w, re.Status, errorResponse{Error: re.Msg})
+		return
+	}
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, fleetrpc.ErrNoLiveShards), errors.Is(err, fleetrpc.ErrUnreachable),
+		errors.Is(err, serve.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
 }

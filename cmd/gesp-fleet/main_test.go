@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"gesp/internal/fleet"
+	"gesp/internal/fleetrpc"
+	"gesp/internal/matgen"
+	"gesp/internal/serve"
+)
+
+// TestWriteErrRetryAfterCeil: Retry-After speaks whole seconds, so
+// sub-second hints must round UP to 1 — a zero would tell throttled
+// clients to retry immediately, defeating the header's purpose.
+func TestWriteErrRetryAfterCeil(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{50 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{4 * time.Second, "4"},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		writeErr(w, &serve.OverloadedError{QueueDepth: 9, RetryAfter: c.d})
+		if got := w.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("overload %v: Retry-After %q, want %q", c.d, got, c.want)
+		}
+		if w.Code != 503 {
+			t.Errorf("overload %v: status %d, want 503", c.d, w.Code)
+		}
+
+		w = httptest.NewRecorder()
+		writeErr(w, &fleet.QuotaError{Tenant: "t", RetryAfter: c.d})
+		if got := w.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("quota %v: Retry-After %q, want %q", c.d, got, c.want)
+		}
+		if w.Code != 429 {
+			t.Errorf("quota %v: status %d, want 429", c.d, w.Code)
+		}
+	}
+}
+
+// TestHandleSolveQuotaRetryAfter drives the real solve handler into a
+// quota rejection and checks the response a throttled client sees:
+// 429, a JSON error body, and a whole-second Retry-After ≥ 1 even
+// though the underlying hint is sub-second jittered.
+func TestHandleSolveQuotaRetryAfter(t *testing.T) {
+	cfg := fleet.DefaultConfig()
+	cfg.Shards = 1
+	cfg.TenantRate = 0.001
+	cfg.TenantBurst = 1
+	f := fleet.New(cfg)
+	defer f.Close()
+
+	gen, ok := matgen.Lookup("SHERMAN4")
+	if !ok {
+		t.Fatal("testbed matrix SHERMAN4 missing")
+	}
+	a := gen.Generate(0.25)
+	h, err := f.Submit("default", a) // spends the tenant's only token
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := json.Marshal(fleetrpc.SolveRequest{Handle: h.String(), B: make([]float64, a.Rows)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+	handleSolve(f)(w, r)
+
+	if w.Code != 429 {
+		t.Fatalf("status %d, want 429; body %s", w.Code, w.Body)
+	}
+	secs, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want a whole second count >= 1", w.Header().Get("Retry-After"))
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Error == "" {
+		t.Fatalf("error body %q: %v", w.Body, err)
+	}
+}

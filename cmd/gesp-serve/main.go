@@ -5,13 +5,18 @@
 // resubmissions skip factorization, and concurrent solves of one system
 // coalesce into batched triangular sweeps.
 //
-// API:
+// The wire format is internal/fleetrpc's, which makes every gesp-serve
+// process a shard any fleetrpc coordinator (gesp-fleet -join) can
+// route over, health-check, drain, and fail over from:
 //
-//	POST /v1/matrix  {"n":N,"rows":[...],"cols":[...],"vals":[...]}
-//	                 -> {"handle":"p….v….n…","n":N,"nnz":…}
-//	POST /v1/solve   {"handle":"…","b":[...]}
-//	                 -> {"x":[...]}
-//	GET  /v1/stats   -> serve.Stats JSON
+//	POST /v1/matrix    {"n":N,"rows":[...],"cols":[...],"vals":[...]}
+//	                   -> {"handle":"p….v….n…","n":N,"nnz":…}
+//	POST /v1/solve     {"handle":"…","b":[...]}
+//	                   -> {"x":[...]}
+//	GET  /v1/stats     -> serve.Stats JSON
+//	GET  /v1/health    -> {"status":"ok"|"draining",...}
+//	POST /v1/handoff   -> drain; returns the resident handles
+//	POST /v1/degraded  -> iterative solve from a raw matrix
 //
 // Load-generator mode (no server; closed-loop in-process benchmark):
 //
@@ -19,18 +24,15 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"time"
 
+	"gesp/internal/fleetrpc"
 	"gesp/internal/resilience"
 	"gesp/internal/serve"
-	"gesp/internal/sparse"
 )
 
 func main() {
@@ -85,131 +87,7 @@ func main() {
 		return
 	}
 
-	svc := serve.New(cfg)
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/matrix", handleMatrix(svc))
-	mux.HandleFunc("POST /v1/solve", handleSolve(svc))
-	mux.HandleFunc("GET /v1/stats", handleStats(svc))
+	srv := fleetrpc.NewServer(serve.New(cfg))
 	log.Printf("listening on %s (max-batch %d, max-delay %v)", *addr, cfg.MaxBatch, cfg.MaxDelay)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-// matrixRequest is the POST /v1/matrix body: a triplet (COO) matrix.
-// Duplicate (row, col) entries are summed, the usual assembly rule.
-type matrixRequest struct {
-	N    int       `json:"n"`
-	Rows []int     `json:"rows"`
-	Cols []int     `json:"cols"`
-	Vals []float64 `json:"vals"`
-}
-
-type matrixResponse struct {
-	Handle string `json:"handle"`
-	N      int    `json:"n"`
-	Nnz    int    `json:"nnz"`
-}
-
-type solveRequest struct {
-	Handle string    `json:"handle"`
-	B      []float64 `json:"b"`
-}
-
-type solveResponse struct {
-	X []float64 `json:"x"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
-}
-
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	switch {
-	case errors.Is(err, serve.ErrOverloaded):
-		status = http.StatusServiceUnavailable // retryable: back off
-	case errors.Is(err, serve.ErrHandleExpired):
-		status = http.StatusGone // resubmit the matrix
-	case errors.Is(err, serve.ErrClosed):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout // solve deadline hit; retry or relax -solve-timeout
-	case errors.Is(err, resilience.ErrNonFiniteRHS):
-		status = http.StatusUnprocessableEntity // NaN/Inf in b; no rung can fix the input
-	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
-
-func handleMatrix(svc *serve.Service) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req matrixRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, fmt.Errorf("bad matrix body: %w", err))
-			return
-		}
-		a, err := assembleMatrix(req)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		h, err := svc.Submit(a)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, matrixResponse{Handle: h.String(), N: h.N, Nnz: a.Nnz()})
-	}
-}
-
-func assembleMatrix(req matrixRequest) (*sparse.CSC, error) {
-	if req.N <= 0 {
-		return nil, fmt.Errorf("matrix dimension %d, want positive", req.N)
-	}
-	if len(req.Rows) != len(req.Vals) || len(req.Cols) != len(req.Vals) {
-		return nil, fmt.Errorf("triplet arrays disagree: %d rows, %d cols, %d vals",
-			len(req.Rows), len(req.Cols), len(req.Vals))
-	}
-	t := sparse.NewTriplet(req.N, req.N)
-	for k := range req.Vals {
-		i, j := req.Rows[k], req.Cols[k]
-		if i < 0 || i >= req.N || j < 0 || j >= req.N {
-			return nil, fmt.Errorf("entry %d at (%d,%d) outside %dx%d", k, i, j, req.N, req.N)
-		}
-		t.Append(i, j, req.Vals[k])
-	}
-	return t.ToCSC(), nil
-}
-
-func handleSolve(svc *serve.Service) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req solveRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, fmt.Errorf("bad solve body: %w", err))
-			return
-		}
-		h, err := serve.ParseHandle(req.Handle)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		x, err := svc.SolveCtx(r.Context(), h, req.B)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, solveResponse{X: x})
-	}
-}
-
-func handleStats(svc *serve.Service) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	}
+	log.Fatal(http.ListenAndServe(*addr, srv.Mux()))
 }

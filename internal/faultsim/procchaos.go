@@ -1,0 +1,210 @@
+package faultsim
+
+// Process-level chaos: a generic re-exec harness that turns any test
+// binary or benchmark runner into a set of real child processes it can
+// SIGKILL, SIGSTOP, and SIGCONT mid-load. The numerical injectors in
+// this package attack the solver's math; this file attacks the process
+// boundary.
+//
+// Pattern: the parent re-executes its own binary with GESP_CHAOS_CHILD
+// set to an opaque payload; the child's entry point (a TestMain or a
+// command main) notices the variable via ChildPayload, starts whatever
+// server the payload describes, reports its address with
+// AnnounceReady, and never returns. The parent scans stdout for the
+// ready line. No helper binaries to build, no PATH assumptions — the
+// chaos tests are ordinary `go test` runs.
+//
+// The harness is deliberately ignorant of what the child serves: the
+// payload is an opaque string and the child's run function lives with
+// the server it starts (fleetrpc.RunShardIfChild wires the solve-shard
+// child). That one-way ignorance is what keeps faultsim importable
+// from every engine's test suite without cycles.
+//
+// Everything here is real wall-clock, real processes, real signals —
+// the opposite of the package's deterministic injectors — so every
+// function carries the //gesp:wallclock opt-out from the detclock rule
+// that governs this package.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// childEnv is the environment variable whose presence marks a process
+// as a spawned child; its value is the opaque payload passed to
+// SpawnProcs.
+const childEnv = "GESP_CHAOS_CHILD"
+
+// readyPrefix precedes the child's listen address on stdout.
+const readyPrefix = "GESP_CHAOS_READY "
+
+// ChildPayload reports whether this process is a spawned child and, if
+// so, the payload its parent passed to SpawnProcs. Call it first thing
+// in TestMain or main.
+func ChildPayload() (string, bool) {
+	raw, ok := os.LookupEnv(childEnv)
+	return raw, ok
+}
+
+// AnnounceReady prints the ready line the parent is scanning for. The
+// child must call it exactly once, after its listener is accepting.
+//
+//gesp:wallclock — flushes the real stdout pipe to the parent
+func AnnounceReady(addr string) {
+	fmt.Printf("%s%s\n", readyPrefix, addr)
+	//gesp:errok — best-effort flush; a failure surfaces as the parent's readiness timeout
+	_ = os.Stdout.Sync()
+}
+
+// Proc is one live child process.
+type Proc struct {
+	Addr string
+	cmd  *exec.Cmd
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// Kill sends SIGKILL — the ungraceful death: no handoff, no goodbye,
+// in-flight requests die with their TCP connections. The child's
+// "signal: killed" exit status is the intended outcome, not an error.
+//
+//gesp:wallclock — real process signal
+func (p *Proc) Kill() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	//gesp:errok — a SIGKILLed child always reports a non-nil exit status
+	_ = p.Wait()
+	return nil
+}
+
+// Stop sends SIGSTOP: the process freezes but its sockets stay open,
+// so connects succeed and requests hang — the closest a single machine
+// gets to a network partition or a wedged peer.
+//
+//gesp:wallclock — real process signal
+func (p *Proc) Stop() error { return p.cmd.Process.Signal(syscall.SIGSTOP) }
+
+// Cont sends SIGCONT, ending a Stop.
+//
+//gesp:wallclock — real process signal
+func (p *Proc) Cont() error { return p.cmd.Process.Signal(syscall.SIGCONT) }
+
+// Wait reaps the process (idempotent).
+//
+//gesp:wallclock — blocks on real process exit
+func (p *Proc) Wait() error {
+	p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+	return p.waitErr
+}
+
+// ProcSet is a spawned child fleet.
+type ProcSet struct {
+	Procs []*Proc
+}
+
+// Addrs lists the children's announced addresses, spawn order.
+func (s *ProcSet) Addrs() []string {
+	addrs := make([]string, len(s.Procs))
+	for i, p := range s.Procs {
+		addrs[i] = p.Addr
+	}
+	return addrs
+}
+
+// Close SIGKILLs and reaps every child still running. Safe to defer
+// unconditionally — already-dead children are already reaped.
+//
+//gesp:wallclock — real process teardown
+func (s *ProcSet) Close() {
+	for _, p := range s.Procs {
+		//gesp:errok — teardown of possibly already-dead processes; nothing to do about failures
+		_ = p.cmd.Process.Kill()
+		//gesp:errok — killed processes report non-nil exit by design
+		_ = p.Wait()
+	}
+}
+
+// SpawnProcs re-executes the current binary n times with the payload
+// in the environment and waits for each child to announce its address.
+//
+//gesp:wallclock — real process spawn with a host readiness deadline
+func SpawnProcs(n int, payload string) (*ProcSet, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: resolve own binary: %w", err)
+	}
+	set := &ProcSet{}
+	for i := 0; i < n; i++ {
+		p, serr := spawnProc(exe, payload)
+		if serr != nil {
+			set.Close()
+			return nil, fmt.Errorf("chaos: child %d: %w", i, serr)
+		}
+		set.Procs = append(set.Procs, p)
+	}
+	return set, nil
+}
+
+// readyTimeout bounds how long a child may take to print its address.
+// Generous: CI machines under load can take seconds to exec a large
+// test binary.
+const readyTimeout = 30 * time.Second
+
+//gesp:wallclock — real process spawn with a host readiness deadline
+func spawnProc(exe, payload string) (*Proc, error) {
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), childEnv+"="+payload)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, readyPrefix) {
+				addrCh <- strings.TrimSpace(strings.TrimPrefix(line, readyPrefix))
+				// Keep draining so the child never blocks on a full pipe.
+				//gesp:errok — discarding the child's remaining stdout; errors just end the drain
+				_, _ = io.Copy(io.Discard, stdout)
+				return
+			}
+		}
+		if serr := sc.Err(); serr != nil {
+			errCh <- serr
+			return
+		}
+		errCh <- fmt.Errorf("child exited before reporting an address")
+	}()
+	select {
+	case addr := <-addrCh:
+		return &Proc{Addr: addr, cmd: cmd}, nil
+	case rerr := <-errCh:
+		//gesp:errok — the child is already broken; Kill is cleanup
+		_ = cmd.Process.Kill()
+		//gesp:errok — reaping a deliberately killed child
+		_ = cmd.Wait()
+		return nil, rerr
+	case <-time.After(readyTimeout):
+		//gesp:errok — the child is wedged; Kill is cleanup
+		_ = cmd.Process.Kill()
+		//gesp:errok — reaping a deliberately killed child
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("child did not report an address within %v", readyTimeout)
+	}
+}

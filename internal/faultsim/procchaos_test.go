@@ -1,0 +1,111 @@
+package faultsim
+
+import (
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the child entry point: a spawned child serves a
+// trivial one-byte TCP responder — the harness is generic, so its own
+// test needs no solver stack at all.
+func TestMain(m *testing.M) {
+	if payload, ok := ChildPayload(); ok {
+		runPingChild(payload)
+	}
+	os.Exit(m.Run())
+}
+
+// runPingChild listens on loopback, announces readiness, and answers
+// every connection with one byte of the payload.
+//
+//gesp:wallclock — child-process server loop: real sockets
+func runPingChild(payload string) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.Exit(1)
+	}
+	AnnounceReady(ln.Addr().String())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			os.Exit(1)
+		}
+		//gesp:errok — best-effort reply; the parent side asserts
+		_, _ = conn.Write([]byte(payload[:1]))
+		//gesp:errok — close of a one-shot connection
+		_ = conn.Close()
+	}
+}
+
+// ping dials the child and reads its one-byte answer.
+//
+//gesp:wallclock — real network round trip with a deadline
+func ping(addr string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	//gesp:errok — close of a one-shot connection
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	return err
+}
+
+// TestSpawnAndKillProcs exercises the harness itself: spawned children
+// announce real addresses and answer, SIGSTOP freezes them
+// mid-connection, SIGCONT thaws them, and SIGKILL ends them for good.
+func TestSpawnAndKillProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process chaos harness: skipped in -short")
+	}
+	procs, err := SpawnProcs(2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer procs.Close()
+	if len(procs.Addrs()) != 2 {
+		t.Fatalf("addrs: %v", procs.Addrs())
+	}
+	for i, addr := range procs.Addrs() {
+		if err := ping(addr, 5*time.Second); err != nil {
+			t.Fatalf("child %d never answered: %v", i, err)
+		}
+	}
+
+	// Stopped: the socket's backlog may still accept, but no reply
+	// comes until SIGCONT.
+	if err := procs.Procs[0].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ping(procs.Procs[0].Addr, 100*time.Millisecond); err == nil {
+		t.Fatal("a SIGSTOPped child answered")
+	}
+	if err := procs.Procs[0].Cont(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ping(procs.Procs[0].Addr, 5*time.Second); err != nil {
+		t.Fatalf("child after SIGCONT: %v", err)
+	}
+
+	// Killed: connections fail, Kill reports success, and a second
+	// Kill of the reaped child must merely not panic.
+	if err := procs.Procs[0].Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ping(procs.Procs[0].Addr, 100*time.Millisecond); err == nil {
+		t.Fatal("a SIGKILLed child answered")
+	}
+	//gesp:errok — a second Kill of a reaped process may error by platform
+	_ = procs.Procs[0].Kill()
+
+	// The sibling is unaffected.
+	if err := ping(procs.Procs[1].Addr, 5*time.Second); err != nil {
+		t.Fatalf("sibling child: %v", err)
+	}
+}

@@ -42,6 +42,14 @@ type Config struct {
 	// HedgeP95: hedge when the primary's observed p95 exceeds this.
 	// <=0 disables the latency trigger.
 	HedgeP95 time.Duration
+	// HedgeBudget caps hedge launches at this fraction of routed
+	// traffic (0.1 = at most ~10% of requests may be hedged in steady
+	// state). <=0 leaves hedging unlimited — the pre-budget behavior.
+	HedgeBudget float64
+	// HedgeBurst is the hedge token bucket's capacity: how many
+	// back-to-back hedges a full bucket allows before the per-request
+	// accrual becomes the limit. <1 is raised to 1 when a budget is set.
+	HedgeBurst float64
 	// TenantRate/TenantBurst are the per-tenant token-bucket admission
 	// parameters. Rate<=0 disables admission control.
 	TenantRate  float64
@@ -83,6 +91,7 @@ type Fleet struct {
 	cfg    Config
 	shards []*shard
 	quotas *quotas
+	hedge  *HedgeBudget
 	m      metrics
 
 	// ring is the current placement; immutable, swapped atomically on
@@ -124,6 +133,7 @@ func New(cfg Config) *Fleet {
 	f := &Fleet{
 		cfg:      cfg,
 		quotas:   newQuotas(cfg.TenantRate, cfg.TenantBurst),
+		hedge:    NewHedgeBudget(cfg.HedgeBudget, cfg.HedgeBurst),
 		replicas: make(map[uint64][]int),
 		registry: make(map[serve.Handle]*sparse.CSC),
 		popCount: make(map[uint64]uint64),
@@ -208,6 +218,7 @@ func (f *Fleet) SolveCtx(ctx context.Context, tenant string, h serve.Handle, b [
 		return nil, &QuotaError{Tenant: tenant, RetryAfter: wait}
 	}
 	f.m.routed.Add(1)
+	f.hedge.Accrue()
 	f.notePopularity(h)
 
 	var lastErr error
@@ -245,12 +256,24 @@ func (f *Fleet) SolveCtx(ctx context.Context, tenant string, h serve.Handle, b [
 		case errors.Is(err, serve.ErrHandleExpired):
 			// Factors were evicted. Re-factor from the registered matrix
 			// and retry; fails only for handles the fleet never saw.
-			if !f.heal(h, buf[0]) {
+			switch herr := f.heal(h, buf[0]); {
+			case herr == nil:
+				f.m.resubmits.Add(1)
+				lastErr = err
+			case errors.Is(herr, serve.ErrClosed) && !f.closed.Load():
+				// The owner began draining between placement and the
+				// heal's re-submit. Wait out the rebalance and re-route
+				// the heal at the post-drain owner instead of failing a
+				// request the drain contract promises to keep alive.
+				if werr := f.awaitRebalance(ctx); werr != nil {
+					f.m.failed.Add(1)
+					return nil, werr
+				}
+				lastErr = err
+			default:
 				f.m.failed.Add(1)
 				return nil, err
 			}
-			f.m.resubmits.Add(1)
-			lastErr = err
 		default:
 			f.m.failed.Add(1)
 			return nil, err
@@ -261,10 +284,11 @@ func (f *Fleet) SolveCtx(ctx context.Context, tenant string, h serve.Handle, b [
 }
 
 // solvePlaced runs one placed attempt: hedge when the primary looks
-// slow and a replica exists, otherwise solve on the primary with a
-// single replica retry if the primary sheds the request.
+// slow, a replica exists, and the hedge budget grants a token;
+// otherwise solve on the primary with a single replica retry if the
+// primary sheds the request.
 func (f *Fleet) solvePlaced(ctx context.Context, primary, replica *shard, h serve.Handle, b []float64) ([]float64, error) {
-	if replica != nil && f.shouldHedge(primary) {
+	if replica != nil && f.shouldHedge(primary) && f.hedge.TryStake() {
 		return f.solveHedged(ctx, primary, replica, h, b)
 	}
 	x, err := f.solveOn(ctx, primary, h, b)
@@ -354,16 +378,18 @@ func (f *Fleet) solveOn(ctx context.Context, sh *shard, h serve.Handle, b []floa
 }
 
 // heal re-factors an evicted handle on its owner shard from the
-// registered matrix. Returns false for handles the fleet never saw.
-func (f *Fleet) heal(h serve.Handle, owner int) bool {
+// registered matrix. It returns the re-submit's error so the caller
+// can tell a draining owner (serve.ErrClosed — wait and re-route) from
+// a handle the fleet never saw (terminal).
+func (f *Fleet) heal(h serve.Handle, owner int) error {
 	f.mu.Lock()
 	a := f.registry[h]
 	f.mu.Unlock()
 	if a == nil {
-		return false
+		return fmt.Errorf("fleet: handle %v has no registered matrix", h.Key)
 	}
 	_, err := f.shards[owner].svc.Submit(a)
-	return err == nil
+	return err
 }
 
 // notePopularity counts the solve against its pattern and kicks off an
@@ -619,6 +645,7 @@ func (f *Fleet) Close() {
 // Stats snapshots the router counters and every shard.
 func (f *Fleet) Stats() Stats {
 	s := f.m.snapshot()
+	s.HedgeStaked, s.HedgeDenied = f.hedge.Counts()
 	for _, sh := range f.shards {
 		s.Shards = append(s.Shards, ShardStats{
 			ID:       sh.id,

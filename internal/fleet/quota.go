@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -41,7 +42,18 @@ type quotas struct {
 	mu sync.Mutex
 	//gesp:guardedby:mu
 	buckets map[string]*bucket
+	// rng jitters rejection waits; seeded deterministically so quota
+	// behavior reproduces, guarded because rand.Rand is not
+	// concurrency-safe.
+	//gesp:guardedby:mu
+	rng *rand.Rand
 }
+
+// retryJitter is the jitter band added to a quota rejection's
+// RetryAfter: up to +50% of the base wait. Without it, every client of
+// a throttled tenant computes the identical wait and retries in
+// lockstep, re-forming the same thundering herd one refill later.
+const retryJitter = 0.5
 
 type bucket struct {
 	tokens float64
@@ -52,11 +64,18 @@ func newQuotas(rate, burst float64) *quotas {
 	if burst < 1 {
 		burst = 1
 	}
-	return &quotas{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+	return &quotas{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		rng:     rand.New(rand.NewSource(1)),
+	}
 }
 
 // admit spends one of tenant's tokens at time now. When the bucket is
-// empty it returns false and the wait until one token has accrued.
+// empty it returns false and a jittered wait at least as long as the
+// time until one token has accrued (never exactly the same twice, so
+// rejected clients don't retry in lockstep).
 func (q *quotas) admit(tenant string, now time.Time) (bool, time.Duration) {
 	if q.rate <= 0 {
 		return true, 0
@@ -80,5 +99,6 @@ func (q *quotas) admit(tenant string, now time.Time) (bool, time.Duration) {
 		return true, 0
 	}
 	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	wait += time.Duration(retryJitter * q.rng.Float64() * float64(wait))
 	return false, wait
 }

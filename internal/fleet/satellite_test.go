@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gesp/internal/serve"
+)
+
+// TestQuotaRetryAfterJitter: repeated rejections of one starved tenant
+// must not hand every client the identical wait — identical waits
+// re-form the rejected herd one refill later.
+func TestQuotaRetryAfterJitter(t *testing.T) {
+	q := newQuotas(0.001, 1)
+	now := time.Now()
+	if ok, _ := q.admit("t", now); !ok {
+		t.Fatal("first token must admit")
+	}
+	waits := make(map[time.Duration]bool)
+	var min time.Duration
+	for i := 0; i < 8; i++ {
+		ok, wait := q.admit("t", now)
+		if ok {
+			t.Fatalf("admit %d: bucket must stay empty", i)
+		}
+		if wait <= 0 {
+			t.Fatalf("admit %d: non-positive RetryAfter %v", i, wait)
+		}
+		if min == 0 || wait < min {
+			min = wait
+		}
+		waits[wait] = true
+	}
+	if len(waits) < 2 {
+		t.Fatalf("8 rejections produced identical RetryAfter %v — jitter is dead", min)
+	}
+	// The jitter only ever widens: every wait covers at least the time
+	// until one token accrues.
+	base := time.Duration(1 / 0.001 * float64(time.Second))
+	if min < base {
+		t.Fatalf("jittered wait %v below the %v refill floor", min, base)
+	}
+}
+
+// TestFleetQuotaErrorsJittered is the same property observed through
+// the public API: back-to-back QuotaErrors for one tenant carry
+// distinct RetryAfter hints.
+func TestFleetQuotaErrorsJittered(t *testing.T) {
+	cfg := quietConfig(1)
+	cfg.TenantRate = 0.001
+	cfg.TenantBurst = 1
+	f := New(cfg)
+	defer f.Close()
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit("greedy", sys.a) // spends the only token
+	if err != nil {
+		t.Fatal(err)
+	}
+	hints := make(map[time.Duration]bool)
+	for i := 0; i < 6; i++ {
+		_, err := f.Solve("greedy", h, sys.b)
+		var qe *QuotaError
+		if !errors.As(err, &qe) {
+			t.Fatalf("solve %d: %v, want QuotaError", i, err)
+		}
+		if qe.RetryAfter <= 0 {
+			t.Fatalf("solve %d: RetryAfter %v", i, qe.RetryAfter)
+		}
+		hints[qe.RetryAfter] = true
+	}
+	if len(hints) < 2 {
+		t.Fatal("6 QuotaErrors carried the identical RetryAfter — clients would retry in lockstep")
+	}
+}
+
+// TestHedgeBudgetBucket covers the token arithmetic: burst bounds the
+// cold-start grants, accrual refills at rate, denials are counted, and
+// the nil/unlimited budget never refuses.
+func TestHedgeBudgetBucket(t *testing.T) {
+	hb := NewHedgeBudget(0.5, 2)
+	if !hb.TryStake() || !hb.TryStake() {
+		t.Fatal("burst of 2 must grant 2 cold hedges")
+	}
+	if hb.TryStake() {
+		t.Fatal("dry bucket granted a 3rd hedge")
+	}
+	hb.Accrue() // +0.5: still dry
+	if hb.TryStake() {
+		t.Fatal("half a token granted a hedge")
+	}
+	hb.Accrue() // +0.5: one whole token
+	if !hb.TryStake() {
+		t.Fatal("accrued token refused")
+	}
+	staked, denied := hb.Counts()
+	if staked != 3 || denied != 2 {
+		t.Fatalf("counts staked=%d denied=%d, want 3/2", staked, denied)
+	}
+	// Accrual never overfills past burst.
+	for i := 0; i < 100; i++ {
+		hb.Accrue()
+	}
+	grants := 0
+	for hb.TryStake() {
+		grants++
+	}
+	if grants != 2 {
+		t.Fatalf("overfilled bucket granted %d, want the burst cap 2", grants)
+	}
+
+	var unlimited *HedgeBudget
+	unlimited.Accrue()
+	if !unlimited.TryStake() {
+		t.Fatal("nil budget must always grant")
+	}
+	free := NewHedgeBudget(0, 5)
+	for i := 0; i < 50; i++ {
+		if !free.TryStake() {
+			t.Fatal("rate<=0 budget must be unlimited")
+		}
+	}
+	if s, d := free.Counts(); s != 0 || d != 0 {
+		t.Fatalf("unlimited budget keeps no accounts, got %d/%d", s, d)
+	}
+}
+
+// TestFleetDrainRacesSubmitSolveHeal races Drain against concurrent
+// Submits and Solves. The ample subtest proves the cache handoff:
+// identical resubmissions and post-drain solves cause zero new numeric
+// factorizations. The eviction-storm subtest forces the
+// ErrHandleExpired heal path throughout and proves it still loses no
+// request across the drain's ring swap.
+func TestFleetDrainRacesSubmitSolveHeal(t *testing.T) {
+	names := []string{"SHERMAN4", "GEMAT11", "WEST2021"}
+
+	run := func(t *testing.T, cfg Config, wantRefactors bool) {
+		f := New(cfg)
+		defer f.Close()
+
+		type entry struct {
+			sys system
+			h   serve.Handle
+		}
+		var pool []entry
+		for _, name := range names {
+			for v := int64(0); v < 2; v++ {
+				sys := testbedSystem(t, name, v)
+				h, err := f.Submit("t", sys.a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Solve("t", h, sys.b); err != nil {
+					t.Fatal(err)
+				}
+				pool = append(pool, entry{sys, h})
+			}
+		}
+		runsWarm := f.Stats().FactorPhaseRuns()
+		target := f.Ring().Owner(pool[0].h.Key.Pattern)
+
+		stop := make(chan struct{})
+		errc := make(chan error, 64)
+		var wg sync.WaitGroup
+		for c := 0; c < 6; c++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					e := pool[rng.Intn(len(pool))]
+					var err error
+					if rng.Intn(4) == 0 {
+						// Identical resubmission: must ride the value-hit
+						// fast path, never refactor, and never fail across
+						// the ring swap.
+						_, err = f.Submit("t", e.sys.a)
+					} else {
+						_, err = f.Solve("t", e.h, e.sys.b)
+					}
+					if err != nil {
+						select {
+						case errc <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(int64(7 + c))
+		}
+		time.Sleep(15 * time.Millisecond)
+		if err := f.Drain(target); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(15 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatalf("request failed across the drain: %v", err)
+		}
+
+		st := f.Stats()
+		if st.Failed != 0 {
+			t.Fatalf("%d failed requests during drain, want 0", st.Failed)
+		}
+		runs := st.FactorPhaseRuns()
+		if !wantRefactors && runs != runsWarm {
+			t.Fatalf("drain refactored: %d factor runs post-drain, %d at warmup", runs, runsWarm)
+		}
+		if wantRefactors && st.Resubmits == 0 {
+			t.Fatal("eviction storm never exercised the heal path")
+		}
+	}
+
+	t.Run("ample-cache-zero-refactor", func(t *testing.T) {
+		run(t, quietConfig(4), false)
+	})
+	t.Run("eviction-storm-heals", func(t *testing.T) {
+		cfg := quietConfig(4)
+		// Two factor slots per shard against six live systems: most
+		// solves find their factors evicted and must heal via resubmit.
+		cfg.Service.MaxFactors = 2
+		run(t, cfg, true)
+	})
+}

@@ -86,9 +86,14 @@ type ShardStats struct {
 // Stats is a point-in-time fleet snapshot: router counters plus every
 // shard's serve.Stats.
 type Stats struct {
-	Routed        uint64 `json:"routed"`
-	Hedged        uint64 `json:"hedged"`
-	HedgeWins     uint64 `json:"hedge_wins"`
+	Routed    uint64 `json:"routed"`
+	Hedged    uint64 `json:"hedged"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// HedgeStaked/HedgeDenied are the hedge-budget bucket's grant and
+	// denial counts; both stay zero when Config.HedgeBudget is unset
+	// (unlimited hedging needs no accounting).
+	HedgeStaked   uint64 `json:"hedge_staked,omitempty"`
+	HedgeDenied   uint64 `json:"hedge_denied,omitempty"`
 	Retries       uint64 `json:"retries"`
 	Resubmits     uint64 `json:"resubmits"`
 	QuotaDenied   uint64 `json:"quota_denied"`
@@ -161,8 +166,8 @@ func (s Stats) FactorPhaseRuns() int64 {
 // String renders the router-level summary plus one line per shard.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "routed %d  hedged %d (wins %d)  retries %d  resubmits %d  quota-denied %d  failed %d\n",
-		s.Routed, s.Hedged, s.HedgeWins, s.Retries, s.Resubmits, s.QuotaDenied, s.Failed)
+	fmt.Fprintf(&b, "routed %d  hedged %d (wins %d, budget-denied %d)  retries %d  resubmits %d  quota-denied %d  failed %d\n",
+		s.Routed, s.Hedged, s.HedgeWins, s.HedgeDenied, s.Retries, s.Resubmits, s.QuotaDenied, s.Failed)
 	fmt.Fprintf(&b, "promoted %d  drains %d  handoff %d factors + %d symbolic  heal %.1f%%\n",
 		s.Promoted, s.Drains, s.HandoffFactor, s.HandoffSym, 100*s.HealRate())
 	for _, sh := range s.Shards {

@@ -1,0 +1,198 @@
+package fleetrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+// ErrUnreachable is the transport-failure class: connection refused,
+// reset, or dead mid-body. errors.Is against it matches any wrapped
+// transport error. It is always retryable and, unlike an HTTP error,
+// also feeds the membership failure counter — a shard that answers
+// 503s is alive and shedding; one that doesn't answer at all may be
+// gone.
+var ErrUnreachable = errors.New("fleetrpc: shard unreachable")
+
+// RemoteError is a non-200 shard response, decoded.
+type RemoteError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration // from the Retry-After header; 0 when absent
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("fleetrpc: shard returned %d: %s", e.Status, e.Msg)
+}
+
+// Retryable classifies an error from a Client call: true for transport
+// failures, deadline expiry, and the HTTP statuses that mean "not now"
+// rather than "never" (429, 502, 503, 504). Solves are idempotent —
+// the same handle and right-hand side produce the same answer — so a
+// retryable solve can always be re-sent, to the same shard or another.
+func Retryable(err error) bool {
+	if errors.Is(err, ErrUnreachable) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		switch re.Status {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+	}
+	return false
+}
+
+// Expired reports the 410 Gone response: the handle's factors were
+// evicted (or the shard restarted) and the cure is re-submitting the
+// matrix, not retrying the solve.
+func Expired(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Status == http.StatusGone
+}
+
+// RetryAfterHint extracts the shard's Retry-After suggestion, or 0.
+func RetryAfterHint(err error) time.Duration {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.RetryAfter
+	}
+	return 0
+}
+
+// Client speaks the shard wire format to one address. Safe for
+// concurrent use; the zero HTTP client field takes http.DefaultClient's
+// transport with no client-level timeout (deadlines come from the
+// caller's context, which the retry layer owns).
+type Client struct {
+	Addr string // host:port
+	HTTP *http.Client
+}
+
+// NewClient builds a client for one shard address.
+func NewClient(addr string) *Client {
+	return &Client{Addr: addr, HTTP: &http.Client{}}
+}
+
+// do posts (or gets, when in is nil and method is GET) one request and
+// decodes the response into out. Non-200 responses come back as
+// *RemoteError; transport failures wrap ErrUnreachable.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("fleetrpc: marshal %s body: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+c.Addr+path, body)
+	if err != nil {
+		return fmt.Errorf("fleetrpc: build %s request: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		// The context's own error (deadline, cancel) must surface as
+		// itself so the retry layer can tell "shard gone" from "budget
+		// spent".
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, c.Addr, err)
+	}
+	//gesp:errok — close of a fully-read (or error) response body; nothing to recover
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		re := &RemoteError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				re.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		var eres ErrorResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&eres); derr == nil {
+			re.Msg = eres.Error
+		} else {
+			re.Msg = resp.Status
+		}
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: bad response body: %v", ErrUnreachable, c.Addr, err)
+	}
+	return nil
+}
+
+// Submit sends a matrix and returns its handle.
+func (c *Client) Submit(ctx context.Context, a *sparse.CSC) (serve.Handle, error) {
+	return c.SubmitWire(ctx, WireMatrix(a))
+}
+
+// SubmitWire is Submit for a pre-encoded matrix — the coordinator
+// encodes each registered matrix once and re-sends the same bytes on
+// every re-replication.
+func (c *Client) SubmitWire(ctx context.Context, req MatrixRequest) (serve.Handle, error) {
+	var res MatrixResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/matrix", req, &res); err != nil {
+		return serve.Handle{}, err
+	}
+	return serve.ParseHandle(res.Handle)
+}
+
+// Solve sends one right-hand side against a handle.
+func (c *Client) Solve(ctx context.Context, h serve.Handle, b []float64) ([]float64, error) {
+	var res SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", SolveRequest{Handle: h.String(), B: b}, &res); err != nil {
+		return nil, err
+	}
+	if len(res.X) != h.N {
+		return nil, fmt.Errorf("%w: %s: solution length %d, want %d", ErrUnreachable, c.Addr, len(res.X), h.N)
+	}
+	return res.X, nil
+}
+
+// Health probes the shard.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var res HealthResponse
+	err := c.do(ctx, http.MethodGet, "/v1/health", nil, &res)
+	return res, err
+}
+
+// Handoff drains the shard and returns the handles it held.
+func (c *Client) Handoff(ctx context.Context) (HandoffResponse, error) {
+	var res HandoffResponse
+	err := c.do(ctx, http.MethodPost, "/v1/handoff", nil, &res)
+	return res, err
+}
+
+// Stats fetches the shard's serve-layer counters.
+func (c *Client) Stats(ctx context.Context) (serve.Stats, error) {
+	var res serve.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &res)
+	return res, err
+}
+
+// SolveDegraded asks the shard for an iterative solve from the raw
+// matrix — no handle, no factors, no cache.
+func (c *Client) SolveDegraded(ctx context.Context, m MatrixRequest, b []float64) (DegradedResponse, error) {
+	var res DegradedResponse
+	err := c.do(ctx, http.MethodPost, "/v1/degraded", DegradedRequest{Matrix: m, B: b}, &res)
+	return res, err
+}

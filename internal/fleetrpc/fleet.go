@@ -1,0 +1,706 @@
+package fleetrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gesp/internal/fleet"
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+// ErrNoLiveShards means every member is dead (or administratively
+// drained) — there is nowhere to place a request right now. It is
+// retryable: the prober revives members the moment they answer again.
+var ErrNoLiveShards = errors.New("fleetrpc: no live shards")
+
+// maxReplication caps a pattern's placement width, mirroring the
+// in-process fleet: owner plus up to three replicas, so placement
+// buffers stay on the stack.
+const maxReplication = 4
+
+// Config parameterizes the cross-process coordinator.
+type Config struct {
+	// Addrs are the shard processes' host:port listen addresses. Member
+	// ids are the indexes into this slice.
+	Addrs []string
+	// Replication is how many members hold each pattern (owner
+	// included): every Submit lands on the owner and Replication-1 ring
+	// successors, so a failover target already has the factors. <=0
+	// takes 2; capped at maxReplication.
+	Replication int
+	// VNodes is the consistent-hash points per member (fleet.DefaultVNodes
+	// when <=0).
+	VNodes int
+
+	// ProbeInterval is the health-check period (50ms when <=0): every
+	// member is probed concurrently each tick.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /v1/health round trip (4x ProbeInterval
+	// when <=0). A SIGSTOPped shard accepts the connection and then
+	// hangs, so the timeout — not a refused connect — is what detects a
+	// partitioned member.
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive-failure count that moves a member
+	// alive -> suspect (placement deprioritizes it); <=0 takes 1.
+	SuspectAfter int
+	// DeadAfter is the consecutive-failure count that moves a suspect
+	// member to dead (ring rebuild + re-replication); values <=
+	// SuspectAfter take SuspectAfter+2.
+	DeadAfter int
+
+	// Retry is the per-request retry/backoff policy.
+	Retry Backoff
+	// RequestTimeout bounds one solve attempt on one placement (2s when
+	// <=0) — the per-attempt slice of the overall deadline budget, which
+	// the caller's context owns.
+	RequestTimeout time.Duration
+	// SubmitTimeout bounds one matrix submit (30s when <=0): a cold
+	// submit runs analysis and numeric factorization, legitimately far
+	// slower than any solve.
+	SubmitTimeout time.Duration
+
+	// HedgeAfter launches a budget-gated hedge to the first replica when
+	// the primary hasn't answered within this duration. <=0 disables
+	// hedging.
+	HedgeAfter time.Duration
+	// HedgeBudget/HedgeBurst parameterize the shared hedge token bucket
+	// (see fleet.HedgeBudget); Budget<=0 leaves hedging unlimited.
+	HedgeBudget float64
+	HedgeBurst  float64
+
+	// DegradedFallback, when set, answers a solve whose every placement
+	// is down — after retries and healing have failed — by shipping the
+	// registered matrix to any live member's /v1/degraded iterative
+	// path. Slower and less accurate than the direct solve, but an
+	// answer instead of an error.
+	DegradedFallback bool
+
+	// Seed seeds the coordinator's jitter source (0 takes 1); fixed so
+	// retry schedules reproduce in tests.
+	Seed int64
+}
+
+// DefaultConfig is a coordinator tuned for LAN shards: 2x replication,
+// fast probing, hedging after 100ms capped at 10% of traffic, and the
+// degraded fallback on.
+func DefaultConfig(addrs []string) Config {
+	return Config{
+		Addrs:            addrs,
+		Replication:      2,
+		ProbeInterval:    50 * time.Millisecond,
+		SuspectAfter:     1,
+		DeadAfter:        3,
+		HedgeAfter:       100 * time.Millisecond,
+		HedgeBudget:      0.1,
+		HedgeBurst:       8,
+		DegradedFallback: true,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.Replication > maxReplication {
+		c.Replication = maxReplication
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 50 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 4 * c.ProbeInterval
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	c.Retry = c.Retry.fill()
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.SubmitTimeout <= 0 {
+		c.SubmitTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Fleet is the cross-process coordinator: the consistent-hash router
+// the in-process fleet pioneered, speaking the wire format to separate
+// gesp-serve processes, with the layers a process boundary demands —
+// health-checked membership, retry/backoff, a hedging budget, and
+// degraded fallback. Safe for concurrent use.
+type Fleet struct {
+	cfg     Config
+	members []*member
+	hedge   *fleet.HedgeBudget
+	m       rpcMetrics
+
+	// ring is the current placement over non-dead member ids;
+	// immutable, rebuilt and swapped atomically on every membership
+	// change so the routing path takes no lock.
+	ring atomic.Pointer[fleet.Ring]
+
+	mu sync.Mutex
+	// registry keeps every submitted system in wire form, encoded once:
+	// the coordinator re-sends these bytes to heal evictions, to
+	// re-replicate after a death, and to feed the degraded path.
+	//gesp:guardedby:mu
+	registry map[serve.Handle]MatrixRequest
+	// rng drives retry jitter; seeded so schedules reproduce, guarded
+	// because rand.Rand is not concurrency-safe.
+	//gesp:guardedby:mu
+	rng *rand.Rand
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a coordinator over cfg.Addrs and starts its prober. It
+// does not contact the shards — the first probe tick and the first
+// request do; a shard that is still starting up just eats a few
+// failures and revives on its first healthy probe.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("fleetrpc: no shard addresses")
+	}
+	cfg.fillDefaults()
+	now := time.Now()
+	f := &Fleet{
+		cfg:      cfg,
+		hedge:    fleet.NewHedgeBudget(cfg.HedgeBudget, cfg.HedgeBurst),
+		registry: make(map[serve.Handle]MatrixRequest),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stop:     make(chan struct{}),
+	}
+	ids := make([]int, len(cfg.Addrs))
+	for i, addr := range cfg.Addrs {
+		ids[i] = i
+		f.members = append(f.members, newMember(i, addr, now))
+	}
+	f.ring.Store(fleet.NewRing(ids, cfg.VNodes))
+	f.wg.Add(1)
+	go f.prober()
+	return f, nil
+}
+
+// Close stops the prober and pending re-replications. Shard processes
+// are not touched — they belong to whoever started them.
+func (f *Fleet) Close() {
+	if !f.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(f.stop)
+	f.wg.Wait()
+}
+
+// prober walks every member each tick, concurrently: a wedged member
+// must not delay the detection of the next one.
+func (f *Fleet) prober() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			var wg sync.WaitGroup
+			for _, mb := range f.members {
+				wg.Add(1)
+				go func(mb *member) {
+					defer wg.Done()
+					f.probe(mb)
+				}(mb)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// probe runs one health check and feeds the membership state machine.
+// A shard that answers but reports a non-ok status (draining) counts
+// as down: it is leaving on purpose and must exit the ring.
+func (f *Fleet) probe(mb *member) {
+	f.m.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeTimeout)
+	defer cancel()
+	res, err := mb.cli.Health(ctx)
+	if err == nil && res.Status != "ok" {
+		err = fmt.Errorf("%w: %s: shard reports %q", ErrUnreachable, mb.addr, res.Status)
+	}
+	if err != nil {
+		f.m.probeFails.Add(1)
+		if mb.reportFailure(f.cfg.SuspectAfter, f.cfg.DeadAfter, time.Now()) {
+			f.onDeath(mb)
+		}
+		return
+	}
+	if mb.reviveOnProbe(time.Now()) {
+		f.onRejoin(mb)
+	}
+}
+
+// noteResult feeds one request outcome into the membership state
+// machine. Only transport-level failures count against health — an
+// HTTP error (even a 503) is a live process making a decision. Our own
+// cancellation says nothing about the member. Resurrection of dead
+// members is the prober's job alone: it is the only observer that can
+// tell a restarted shard from a drained one still answering.
+func (f *Fleet) noteResult(mb *member, err error) {
+	now := time.Now()
+	switch {
+	case err == nil:
+		mb.reportSuccess(now)
+	case errors.Is(err, ErrUnreachable) || errors.Is(err, context.DeadlineExceeded):
+		if mb.reportFailure(f.cfg.SuspectAfter, f.cfg.DeadAfter, now) {
+			f.onDeath(mb)
+		}
+	case errors.Is(err, context.Canceled):
+		// hedge loser or caller gave up; no health signal either way
+	default:
+		// a decoded HTTP response: the process is alive
+		mb.reportSuccess(now)
+	}
+}
+
+// onDeath and onRejoin handle the two ring-changing transitions:
+// rebuild placement, then re-replicate the registry under the new ring
+// so every pattern's factors exist at its (possibly new) owner and
+// replicas before traffic needs them.
+func (f *Fleet) onDeath(mb *member) {
+	f.m.deaths.Add(1)
+	f.rebuildRing()
+	f.rereplicateAsync()
+}
+
+func (f *Fleet) onRejoin(mb *member) {
+	f.m.rejoins.Add(1)
+	f.rebuildRing()
+	f.rereplicateAsync()
+}
+
+// rebuildRing recomputes the ring over the non-dead members and swaps
+// it in. Serialized under mu so a stale membership read cannot
+// overwrite a newer ring.
+func (f *Fleet) rebuildRing() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]int, 0, len(f.members))
+	for _, mb := range f.members {
+		if mb.currentState() != StateDead {
+			ids = append(ids, mb.id)
+		}
+	}
+	f.ring.Store(fleet.NewRing(ids, f.cfg.VNodes))
+	f.m.rebuilds.Add(1)
+}
+
+// rereplicateAsync re-submits every registered matrix to its placement
+// under the current ring, in the background: factors move to their
+// new owners ahead of the traffic that will want them, and members
+// already holding them answer from cache (the serve layer's factor
+// cache makes a duplicate submit a lookup, not a refactorization).
+func (f *Fleet) rereplicateAsync() {
+	if f.closed.Load() {
+		return
+	}
+	f.mu.Lock()
+	wires := make([]MatrixRequest, 0, len(f.registry))
+	//gesp:unordered — each pattern re-homes independently; placement order is irrelevant
+	for _, w := range f.registry {
+		wires = append(wires, w)
+	}
+	f.mu.Unlock()
+	if len(wires) == 0 {
+		return
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for _, w := range wires {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			pattern, ok := wirePattern(w)
+			if !ok {
+				continue
+			}
+			var buf [maxReplication]*member
+			n := f.placementInto(buf[:], pattern)
+			for i := 0; i < n; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), f.cfg.SubmitTimeout)
+				_, err := buf[i].cli.SubmitWire(ctx, w)
+				cancel()
+				f.noteResult(buf[i], err)
+				if err == nil {
+					f.m.rereplicated.Add(1)
+				}
+			}
+		}
+	}()
+}
+
+// wirePattern recomputes a wire matrix's pattern fingerprint by
+// assembling it; re-replication is rare (membership changes only) so
+// the assembly cost is irrelevant next to the factorization it seeds.
+func wirePattern(w MatrixRequest) (uint64, bool) {
+	a, err := AssembleMatrix(w)
+	if err != nil {
+		return 0, false
+	}
+	return sparse.PatternHash(a), true
+}
+
+// placementInto writes the pattern's placement — healthiest first —
+// into dst and returns how many entries it wrote. The ring (which
+// excludes dead members) proposes owner + successors; alive members
+// sort before suspects so a flapping shard serves only when nothing
+// better holds the factors.
+func (f *Fleet) placementInto(dst []*member, pattern uint64) int {
+	ring := f.ring.Load()
+	var ids [maxReplication]int
+	rf := f.cfg.Replication
+	n := ring.ReplicasInto(ids[:rf], pattern)
+	k := 0
+	for pass := 0; pass < 2; pass++ {
+		want := StateAlive
+		if pass == 1 {
+			want = StateSuspect
+		}
+		for i := 0; i < n && k < len(dst); i++ {
+			if mb := f.members[ids[i]]; mb.currentState() == want {
+				dst[k] = mb
+				k++
+			}
+		}
+	}
+	return k
+}
+
+// sleep pauses for the retry schedule's next wait (attempt counts
+// retries, 0 = first retry), honoring the shard's Retry-After hint and
+// the caller's context.
+func (f *Fleet) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	f.mu.Lock()
+	u := f.rng.Float64()
+	f.mu.Unlock()
+	w := f.cfg.Retry.wait(attempt, u, retryAfter)
+	t := time.NewTimer(w)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit registers a system with the fleet: the matrix is encoded
+// once, factored on its pattern's owner and replicas, and kept in the
+// coordinator's registry for healing, re-replication, and the
+// degraded path.
+func (f *Fleet) Submit(a *sparse.CSC) (serve.Handle, error) {
+	return f.SubmitCtx(context.Background(), a)
+}
+
+// SubmitCtx is Submit under a caller-owned context.
+func (f *Fleet) SubmitCtx(ctx context.Context, a *sparse.CSC) (serve.Handle, error) {
+	if f.closed.Load() {
+		return serve.Handle{}, serve.ErrClosed
+	}
+	wire := WireMatrix(a)
+	pattern := sparse.PatternHash(a)
+	var lastErr error
+	for attempt := 0; attempt < f.cfg.Retry.Attempts; attempt++ {
+		if attempt > 0 {
+			f.m.retries.Add(1)
+			if err := f.sleep(ctx, attempt-1, RetryAfterHint(lastErr)); err != nil {
+				return serve.Handle{}, err
+			}
+		}
+		var buf [maxReplication]*member
+		n := f.placementInto(buf[:], pattern)
+		if n == 0 {
+			lastErr = ErrNoLiveShards
+			continue
+		}
+		sctx, cancel := context.WithTimeout(ctx, f.cfg.SubmitTimeout)
+		h, err := buf[0].cli.SubmitWire(sctx, wire)
+		cancel()
+		f.noteResult(buf[0], err)
+		if err != nil {
+			lastErr = err
+			if !Retryable(err) {
+				return serve.Handle{}, err
+			}
+			continue
+		}
+		f.mu.Lock()
+		f.registry[h] = wire
+		f.mu.Unlock()
+		for i := 1; i < n; i++ {
+			rctx, rcancel := context.WithTimeout(ctx, f.cfg.SubmitTimeout)
+			_, rerr := buf[i].cli.SubmitWire(rctx, wire)
+			rcancel()
+			f.noteResult(buf[i], rerr)
+			//gesp:errok — replica population is best-effort; the owner holds the factors and re-replication retries on the next membership change
+			_ = rerr
+		}
+		return h, nil
+	}
+	return serve.Handle{}, lastErr
+}
+
+// Solve routes one right-hand side with the background context.
+func (f *Fleet) Solve(h serve.Handle, b []float64) ([]float64, error) {
+	return f.SolveCtx(context.Background(), h, b)
+}
+
+// SolveCtx routes one right-hand side through the full resilience
+// ladder: placement on the live ring, hedged against the first replica
+// under the hedge budget, failed over on fast errors, retried with
+// jittered backoff (honoring Retry-After) on retryable ones, healed by
+// re-submit on eviction, and — when every placement is gone — answered
+// by the degraded iterative path on any live member.
+func (f *Fleet) SolveCtx(ctx context.Context, h serve.Handle, b []float64) ([]float64, error) {
+	if f.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	f.m.routed.Add(1)
+	f.hedge.Accrue()
+	var lastErr error
+	for attempt := 0; attempt < f.cfg.Retry.Attempts; attempt++ {
+		if attempt > 0 {
+			f.m.retries.Add(1)
+			if err := f.sleep(ctx, attempt-1, RetryAfterHint(lastErr)); err != nil {
+				f.m.failed.Add(1)
+				return nil, err
+			}
+		}
+		var buf [maxReplication]*member
+		n := f.placementInto(buf[:], h.Key.Pattern)
+		if n == 0 {
+			lastErr = ErrNoLiveShards
+			continue
+		}
+		primary := buf[0]
+		var replica *member
+		if n > 1 {
+			replica = buf[1]
+		}
+		x, err := f.solvePlaced(ctx, primary, replica, h, b)
+		if err == nil {
+			return x, nil
+		}
+		lastErr = err
+		switch {
+		case Expired(err):
+			// Factors evicted (or the shard restarted empty): re-factor
+			// from the registry and go around — without burning the
+			// request on an error the next attempt can cure.
+			if herr := f.heal(ctx, h); herr != nil {
+				f.m.failed.Add(1)
+				return nil, err
+			}
+			f.m.resubmits.Add(1)
+		case !Retryable(err):
+			f.m.failed.Add(1)
+			return nil, err
+		}
+	}
+	if f.cfg.DegradedFallback {
+		if x, derr := f.solveDegraded(ctx, h, b); derr == nil {
+			f.m.degraded.Add(1)
+			return x, nil
+		}
+	}
+	f.m.failed.Add(1)
+	return nil, lastErr
+}
+
+// placedResult is one leg of a placed attempt.
+type placedResult struct {
+	x    []float64
+	err  error
+	from *member
+}
+
+// solvePlaced runs one attempt against a placement: the primary,
+// raced after HedgeAfter by a budget-gated hedge to the replica, with
+// an immediate failover to the replica when the primary fails fast
+// with a retryable error. First success wins; the loser's wait is
+// cancelled with the attempt context.
+func (f *Fleet) solvePlaced(ctx context.Context, primary, replica *member, h serve.Handle, b []float64) ([]float64, error) {
+	actx, cancel := context.WithTimeout(ctx, f.cfg.RequestTimeout)
+	defer cancel()
+	ch := make(chan placedResult, 2)
+	launch := func(mb *member) {
+		x, err := mb.cli.Solve(actx, h, b)
+		f.noteResult(mb, err)
+		ch <- placedResult{x: x, err: err, from: mb}
+	}
+	go launch(primary)
+	inFlight := 1
+	hedged := false
+	var hedgeC <-chan time.Time
+	if replica != nil && f.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(f.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var primErr error
+	for {
+		select {
+		case r := <-ch:
+			inFlight--
+			if r.err == nil {
+				if hedged && r.from == replica {
+					f.m.hedgeWins.Add(1)
+				}
+				return r.x, nil
+			}
+			if r.from == primary {
+				primErr = r.err
+				if replica != nil && inFlight == 0 && Retryable(r.err) && actx.Err() == nil {
+					// primary failed fast and the replica was never tried:
+					// fail over now, inside the same attempt — no backoff,
+					// no hedge token.
+					f.m.failovers.Add(1)
+					hedgeC = nil
+					go launch(replica)
+					inFlight++
+					continue
+				}
+			}
+			if inFlight == 0 {
+				if primErr != nil {
+					// the primary's error is the one the retry ladder
+					// classifies (overload, eviction, unreachable)
+					return nil, primErr
+				}
+				return nil, r.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if f.hedge.TryStake() {
+				f.m.hedged.Add(1)
+				hedged = true
+				go launch(replica)
+				inFlight++
+			}
+		}
+	}
+}
+
+// heal re-factors an evicted handle at its current owner from the
+// registered wire matrix.
+func (f *Fleet) heal(ctx context.Context, h serve.Handle) error {
+	f.mu.Lock()
+	wire, ok := f.registry[h]
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleetrpc: handle %v has no registered matrix", h.Key)
+	}
+	var buf [maxReplication]*member
+	n := f.placementInto(buf[:], h.Key.Pattern)
+	if n == 0 {
+		return ErrNoLiveShards
+	}
+	sctx, cancel := context.WithTimeout(ctx, f.cfg.SubmitTimeout)
+	defer cancel()
+	_, err := buf[0].cli.SubmitWire(sctx, wire)
+	f.noteResult(buf[0], err)
+	return err
+}
+
+// solveDegraded is the bottom of the ladder: ship the registered
+// matrix to any live member's iterative path. Tried healthiest-first
+// over every member (placement no longer matters — there is no cache
+// to hit).
+func (f *Fleet) solveDegraded(ctx context.Context, h serve.Handle, b []float64) ([]float64, error) {
+	f.mu.Lock()
+	wire, ok := f.registry[h]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleetrpc: handle %v has no registered matrix", h.Key)
+	}
+	lastErr := error(ErrNoLiveShards)
+	for pass := 0; pass < 2; pass++ {
+		want := StateAlive
+		if pass == 1 {
+			want = StateSuspect
+		}
+		for _, mb := range f.members {
+			if mb.currentState() != want {
+				continue
+			}
+			dctx, cancel := context.WithTimeout(ctx, f.cfg.SubmitTimeout)
+			res, err := mb.cli.SolveDegraded(dctx, wire, b)
+			cancel()
+			f.noteResult(mb, err)
+			if err == nil {
+				return res.X, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// Drain administratively removes member id: its shard finishes queued
+// work and closes admission (the /v1/handoff drain), the ring drops
+// it, and its resident patterns re-factor onto the survivors from the
+// registry. The process itself stays up, answering "draining" to
+// probes, until its owner stops it.
+func (f *Fleet) Drain(ctx context.Context, id int) error {
+	if id < 0 || id >= len(f.members) {
+		return fmt.Errorf("fleetrpc: no member %d", id)
+	}
+	mb := f.members[id]
+	_, err := mb.cli.Handoff(ctx)
+	if err != nil {
+		return err
+	}
+	mb.markDead(time.Now())
+	f.m.drains.Add(1)
+	f.rebuildRing()
+	f.rereplicateAsync()
+	return nil
+}
+
+// Members snapshots every member's health state.
+func (f *Fleet) Members() []MemberStatus {
+	now := time.Now()
+	out := make([]MemberStatus, 0, len(f.members))
+	for _, mb := range f.members {
+		out = append(out, mb.status(now))
+	}
+	return out
+}
+
+// Ring exposes the current placement ring (tests, status endpoints).
+func (f *Fleet) Ring() *fleet.Ring { return f.ring.Load() }
+
+// Stats snapshots the coordinator counters and membership.
+func (f *Fleet) Stats() Stats {
+	s := f.m.snapshot()
+	s.HedgeStaked, s.HedgeDenied = f.hedge.Counts()
+	s.Members = f.Members()
+	return s
+}

@@ -1,0 +1,455 @@
+package fleetrpc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gesp/internal/matgen"
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+const testScale = 0.25
+
+type system struct {
+	a    *sparse.CSC
+	b    []float64
+	want []float64
+}
+
+func testbedSystem(t testing.TB, name string, valueSeed int64) system {
+	t.Helper()
+	m, ok := matgen.Lookup(name)
+	if !ok {
+		t.Fatalf("testbed matrix %s missing", name)
+	}
+	a := m.Generate(testScale)
+	if valueSeed != 0 {
+		rng := rand.New(rand.NewSource(valueSeed))
+		for k := range a.Val {
+			a.Val[k] *= 1 + 0.1*rng.NormFloat64()
+		}
+	}
+	want := make([]float64, a.Rows)
+	for i := range want {
+		want[i] = 1
+	}
+	b := make([]float64, a.Rows)
+	a.MatVec(b, want)
+	return system{a: a, b: b, want: want}
+}
+
+func checkSolution(t *testing.T, x, want []float64) {
+	t.Helper()
+	if e := sparse.RelErrInf(x, want); e > 2e-3 {
+		t.Fatalf("solution error %g", e)
+	}
+}
+
+// testShards starts n in-process shard servers (real HTTP over
+// loopback, same Mux the child processes serve) and returns their
+// addresses plus the underlying services for white-box assertions.
+func testShards(t *testing.T, n int, cfg serve.Config) ([]string, []*serve.Service) {
+	t.Helper()
+	addrs := make([]string, n)
+	svcs := make([]*serve.Service, n)
+	for i := 0; i < n; i++ {
+		svc := serve.New(cfg)
+		ts := httptest.NewServer(NewServer(svc).Mux())
+		t.Cleanup(ts.Close)
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+		svcs[i] = svc
+	}
+	return addrs, svcs
+}
+
+// quietConfig is a coordinator with every optional layer off: no
+// hedging, no degraded fallback, slow probes that stay out of the
+// test's way. Individual tests switch layers back on.
+func quietConfig(addrs []string) Config {
+	return Config{
+		Addrs:         addrs,
+		Replication:   1,
+		ProbeInterval: time.Hour,
+		SuspectAfter:  100000,
+		Retry:         Backoff{Attempts: 2, Base: time.Millisecond, Max: 5 * time.Millisecond},
+	}
+}
+
+func newTestFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// waitState polls until member id reaches the wanted state.
+func waitState(t *testing.T, f *Fleet, id int, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, m := range f.Members() {
+			if m.ID == id && m.State == want {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("member %d never became %s; members: %+v", id, want, f.Members())
+}
+
+func TestSetRetryAfterCeil(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"},
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		SetRetryAfter(w, c.d)
+		if got := w.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("SetRetryAfter(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBackoffWait(t *testing.T) {
+	b := Backoff{}.fill()
+	if b.Attempts != 4 || b.Base != 25*time.Millisecond || b.Max != 400*time.Millisecond || b.Jitter != 0.5 {
+		t.Fatalf("fill defaults: %+v", b)
+	}
+	if j := (Backoff{Jitter: -1}).fill().Jitter; j != 0 {
+		t.Fatalf("negative Jitter must disable, got %g", j)
+	}
+	if w := b.wait(0, 0, 0); w != 25*time.Millisecond {
+		t.Fatalf("first wait %v, want base", w)
+	}
+	if w := b.wait(3, 0, 0); w != 200*time.Millisecond {
+		t.Fatalf("wait(3) %v, want 200ms", w)
+	}
+	if w := b.wait(10, 0, 0); w != 400*time.Millisecond {
+		t.Fatalf("wait(10) %v, want the 400ms ceiling", w)
+	}
+	// Jitter widens by up to +50%.
+	if w := b.wait(0, 0.999, 0); w <= 25*time.Millisecond || w > 38*time.Millisecond {
+		t.Fatalf("jittered wait %v outside (25ms, 37.5ms]", w)
+	}
+	// A shard's Retry-After hint overrides a shorter computed wait.
+	if w := b.wait(0, 0, 600*time.Millisecond); w != 600*time.Millisecond {
+		t.Fatalf("Retry-After floor ignored: %v", w)
+	}
+}
+
+// TestMemberLifecycle walks the alive -> suspect -> dead machine and
+// checks the two revival paths: request successes recover suspects but
+// never the dead; only a healthy probe resurrects.
+func TestMemberLifecycle(t *testing.T) {
+	now := time.Now()
+	m := newMember(0, "127.0.0.1:1", now)
+	if m.currentState() != StateAlive {
+		t.Fatal("new member not alive")
+	}
+	if died := m.reportFailure(1, 3, now); died || m.currentState() != StateSuspect {
+		t.Fatalf("after 1 failure: died=%v state=%v", died, m.currentState())
+	}
+	m.reportSuccess(now)
+	if m.currentState() != StateAlive || m.status(now).Failures != 0 {
+		t.Fatalf("success must recover a suspect: %+v", m.status(now))
+	}
+	m.reportFailure(1, 3, now)
+	m.reportFailure(1, 3, now)
+	if died := m.reportFailure(1, 3, now); !died || m.currentState() != StateDead {
+		t.Fatalf("3rd failure: died=%v state=%v", died, m.currentState())
+	}
+	// Death fires exactly once.
+	if m.reportFailure(1, 3, now) {
+		t.Fatal("death reported twice")
+	}
+	// A drained shard still answers requests; successes must not
+	// resurrect it.
+	m.reportSuccess(now)
+	if m.currentState() != StateDead {
+		t.Fatal("request success revived a dead member")
+	}
+	if rejoined := m.reviveOnProbe(now); !rejoined || m.currentState() != StateAlive {
+		t.Fatalf("probe revival: rejoined=%v state=%v", rejoined, m.currentState())
+	}
+	if m.reviveOnProbe(now) {
+		t.Fatal("rejoin reported twice")
+	}
+	m.markDead(now)
+	if m.currentState() != StateDead {
+		t.Fatal("markDead did not kill")
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	if !Retryable(ErrUnreachable) || !Retryable(context.DeadlineExceeded) {
+		t.Fatal("transport-class errors must be retryable")
+	}
+	for _, status := range []int{429, 502, 503, 504} {
+		if !Retryable(&RemoteError{Status: status}) {
+			t.Fatalf("status %d must be retryable", status)
+		}
+	}
+	if Retryable(&RemoteError{Status: 400}) || Retryable(errors.New("boom")) {
+		t.Fatal("terminal errors must not be retryable")
+	}
+	if !Expired(&RemoteError{Status: 410}) || Expired(&RemoteError{Status: 503}) {
+		t.Fatal("only 410 means the handle expired")
+	}
+	if h := RetryAfterHint(&RemoteError{Status: 503, RetryAfter: time.Second}); h != time.Second {
+		t.Fatalf("RetryAfterHint = %v", h)
+	}
+}
+
+// TestFleetRoutingAndSolve: submits land on the ring owner's process,
+// solves come back correct, and the accounting balances.
+func TestFleetRoutingAndSolve(t *testing.T) {
+	addrs, svcs := testShards(t, 3, serve.DefaultConfig())
+	f := newTestFleet(t, quietConfig(addrs))
+
+	names := []string{"SHERMAN4", "GEMAT11", "WEST2021"}
+	for _, name := range names {
+		sys := testbedSystem(t, name, 0)
+		h, err := f.Submit(sys.a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x, err := f.Solve(h, sys.b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkSolution(t, x, sys.want)
+		owner := f.Ring().Owner(h.Key.Pattern)
+		if svcs[owner].Stats().Submits == 0 {
+			t.Fatalf("%s: owner shard %d never saw the submit", name, owner)
+		}
+	}
+	st := f.Stats()
+	if st.Routed != uint64(len(names)) || st.Failed != 0 {
+		t.Fatalf("accounting: routed=%d failed=%d, want %d/0", st.Routed, st.Failed, len(names))
+	}
+}
+
+// TestFleetFailoverOnShardDeath: with replication, losing the owner
+// process mid-stream costs no request — traffic fails over to the
+// replica while the prober declares the death and rebuilds the ring.
+func TestFleetFailoverOnShardDeath(t *testing.T) {
+	svcs := make([]*serve.Service, 3)
+	servers := make([]*httptest.Server, 3)
+	addrs := make([]string, 3)
+	for i := range addrs {
+		svcs[i] = serve.New(serve.DefaultConfig())
+		servers[i] = httptest.NewServer(NewServer(svcs[i]).Mux())
+		addrs[i] = strings.TrimPrefix(servers[i].URL, "http://")
+	}
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}()
+	cfg := quietConfig(addrs)
+	cfg.Replication = 2
+	cfg.ProbeInterval = 5 * time.Millisecond
+	cfg.SuspectAfter = 1
+	cfg.DeadAfter = 3
+	cfg.RequestTimeout = 500 * time.Millisecond
+	cfg.Retry = Backoff{Attempts: 4, Base: time.Millisecond, Max: 10 * time.Millisecond}
+	f := newTestFleet(t, cfg)
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := f.Ring().Owner(h.Key.Pattern)
+	servers[owner].Close() // SIGKILL stand-in: connections now refuse
+
+	// Every solve across the death must succeed.
+	for i := 0; i < 5; i++ {
+		x, serr := f.Solve(h, sys.b)
+		if serr != nil {
+			t.Fatalf("solve %d across shard death: %v", i, serr)
+		}
+		checkSolution(t, x, sys.want)
+	}
+	waitState(t, f, owner, "dead", 2*time.Second)
+	for _, id := range f.Ring().Shards() {
+		if id == owner {
+			t.Fatal("dead member still on the ring")
+		}
+	}
+	st := f.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("%d client-visible failures across a replicated death", st.Failed)
+	}
+	if st.Deaths != 1 || st.Rebuilds == 0 {
+		t.Fatalf("membership accounting: deaths=%d rebuilds=%d", st.Deaths, st.Rebuilds)
+	}
+}
+
+// TestFleetHedgeBudgetDenied: an aggressive hedge trigger against a
+// nearly-empty budget gets denials, not doubled load — and every solve
+// still answers.
+func TestFleetHedgeBudgetDenied(t *testing.T) {
+	addrs, _ := testShards(t, 3, serve.DefaultConfig())
+	cfg := quietConfig(addrs)
+	cfg.Replication = 2
+	cfg.HedgeAfter = time.Nanosecond // hedge every solve the budget allows
+	cfg.HedgeBudget = 1e-6           // ~no refill within the test
+	cfg.HedgeBurst = 2
+	f := newTestFleet(t, cfg)
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		x, serr := f.Solve(h, sys.b)
+		if serr != nil {
+			t.Fatalf("solve %d: %v", i, serr)
+		}
+		checkSolution(t, x, sys.want)
+	}
+	st := f.Stats()
+	if st.HedgeStaked > 2 {
+		t.Fatalf("budget of 2 granted %d hedges", st.HedgeStaked)
+	}
+	if st.HedgeDenied == 0 {
+		t.Fatalf("dry budget never denied a hedge: %+v", st)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d failures — a denied hedge must fall back to the unhedged path", st.Failed)
+	}
+}
+
+// TestFleetDegradedFallback: with every placement down and retries
+// exhausted, the coordinator ships the registered matrix to a live
+// shard's iterative path instead of failing the request.
+func TestFleetDegradedFallback(t *testing.T) {
+	svcs := make([]*serve.Service, 2)
+	servers := make([]*httptest.Server, 2)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		svcs[i] = serve.New(serve.DefaultConfig())
+		servers[i] = httptest.NewServer(NewServer(svcs[i]).Mux())
+		addrs[i] = strings.TrimPrefix(servers[i].URL, "http://")
+	}
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}()
+	cfg := quietConfig(addrs) // prober effectively off: the owner stays "alive"
+	cfg.Replication = 1
+	cfg.DegradedFallback = true
+	cfg.RequestTimeout = 200 * time.Millisecond
+	cfg.Retry = Backoff{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond}
+	f := newTestFleet(t, cfg)
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := f.Ring().Owner(h.Key.Pattern)
+	servers[owner].Close() // sole placement gone; membership hasn't noticed
+
+	x, err := f.Solve(h, sys.b)
+	if err != nil {
+		t.Fatalf("degraded fallback must answer: %v", err)
+	}
+	checkSolution(t, x, sys.want)
+	st := f.Stats()
+	if st.Degraded != 1 || st.Failed != 0 {
+		t.Fatalf("degraded accounting: degraded=%d failed=%d", st.Degraded, st.Failed)
+	}
+}
+
+// TestFleetEvictionHeal: a shard that evicted its factors answers 410
+// Gone; the coordinator re-submits from its wire registry and retries
+// instead of surfacing the expiry.
+func TestFleetEvictionHeal(t *testing.T) {
+	cfg := serve.DefaultConfig()
+	cfg.MaxFactors = 1
+	addrs, _ := testShards(t, 1, cfg)
+	f := newTestFleet(t, quietConfig(addrs))
+
+	sysA := testbedSystem(t, "SHERMAN4", 0)
+	sysB := testbedSystem(t, "GEMAT11", 0)
+	hA, err := f.Submit(sysA.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(sysB.a); err != nil { // evicts A's factors
+		t.Fatal(err)
+	}
+	x, err := f.Solve(hA, sysA.b)
+	if err != nil {
+		t.Fatalf("evicted handle must heal, got %v", err)
+	}
+	checkSolution(t, x, sysA.want)
+	if f.Stats().Resubmits == 0 {
+		t.Fatal("heal never counted a resubmit")
+	}
+}
+
+// TestFleetDrainStaysDead: a drained shard keeps answering HTTP, so
+// only the prober — which can read the "draining" health status — must
+// decide it never rejoins the ring.
+func TestFleetDrainStaysDead(t *testing.T) {
+	addrs, _ := testShards(t, 3, serve.DefaultConfig())
+	cfg := quietConfig(addrs)
+	cfg.Replication = 2
+	cfg.ProbeInterval = 5 * time.Millisecond
+	f := newTestFleet(t, cfg)
+
+	sys := testbedSystem(t, "SHERMAN4", 0)
+	h, err := f.Submit(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := f.Ring().Owner(h.Key.Pattern)
+	if err := f.Drain(context.Background(), target); err != nil {
+		t.Fatal(err)
+	}
+	// Many probe intervals later the drained member must still be dead
+	// and off the ring — its health endpoint answers, but "draining".
+	time.Sleep(50 * time.Millisecond)
+	for _, m := range f.Members() {
+		if m.ID == target && m.State != "dead" {
+			t.Fatalf("drained member revived to %s", m.State)
+		}
+	}
+	for _, id := range f.Ring().Shards() {
+		if id == target {
+			t.Fatal("drained member back on the ring")
+		}
+	}
+	// The drained shard's patterns still solve on the survivors.
+	x, err := f.Solve(h, sys.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, x, sys.want)
+	if st := f.Stats(); st.Drains != 1 || st.Failed != 0 {
+		t.Fatalf("drain accounting: drains=%d failed=%d", st.Drains, st.Failed)
+	}
+}

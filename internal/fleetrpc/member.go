@@ -1,0 +1,163 @@
+package fleetrpc
+
+import (
+	"sync"
+	"time"
+)
+
+// MemberState is the health state machine's position for one shard
+// process:
+//
+//	alive ──failures≥SuspectAfter──▶ suspect ──failures≥DeadAfter──▶ dead
+//	  ▲                                 │                              │
+//	  └────────── any success ──────────┴───────── any success ────────┘
+//
+// Failures come from two feeds — the periodic /v1/health prober and
+// transport errors on real requests — so a dead shard is usually
+// detected in one probe interval even with zero traffic, and faster
+// under load. A suspect member still serves (requests it holds the
+// only factors for would otherwise refactor), but placement prefers
+// alive members. A dead member leaves the ring entirely: its keys move
+// to the ring successors and the coordinator re-replicates every
+// registered pattern whose placement changed.
+type MemberState int32
+
+const (
+	StateAlive MemberState = iota
+	StateSuspect
+	StateDead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// MemberStatus is one member's externally visible health snapshot.
+// ChangedAt timestamps the last state transition — the fleetproc
+// experiment measures failover detection latency as the dead
+// transition's ChangedAt minus the kill time.
+type MemberStatus struct {
+	ID       int           `json:"id"`
+	Addr     string        `json:"addr"`
+	State    string        `json:"state"`
+	Failures int           `json:"failures"`
+	ChangedAt time.Time    `json:"changed_at"`
+	Sickness time.Duration `json:"-"` // time since leaving alive; 0 when alive
+}
+
+// member is one shard process in the coordinator's membership table.
+// The id is its index in Fleet.members and its shard id on the ring;
+// both are fixed at construction, as is the client. Everything
+// health-related is guarded.
+type member struct {
+	id   int
+	addr string
+	cli  *Client
+
+	mu sync.Mutex
+	//gesp:guardedby:mu
+	state MemberState
+	//gesp:guardedby:mu
+	failures int
+	//gesp:guardedby:mu
+	changedAt time.Time
+}
+
+func newMember(id int, addr string, now time.Time) *member {
+	return &member{id: id, addr: addr, cli: NewClient(addr), changedAt: now}
+}
+
+// currentState reads the member's state.
+func (m *member) currentState() MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// reportFailure counts one failed probe or transport-failed request
+// and advances the state machine. It returns true exactly once per
+// death — the caller's cue to rebuild the ring and re-replicate.
+func (m *member) reportFailure(suspectAfter, deadAfter int, now time.Time) (died bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failures++
+	switch {
+	case m.state == StateAlive && m.failures >= suspectAfter:
+		m.state = StateSuspect
+		m.changedAt = now
+	case m.state == StateSuspect && m.failures >= deadAfter:
+		m.state = StateDead
+		m.changedAt = now
+		return true
+	}
+	return false
+}
+
+// reportSuccess records a request-path success: failures reset and a
+// suspect recovers. Dead members stay dead here — a drained shard
+// still answers requests (with 503s that decode fine), and only the
+// prober, which can see the health status, may resurrect.
+func (m *member) reportSuccess(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == StateDead {
+		return
+	}
+	if m.state == StateSuspect {
+		m.state = StateAlive
+		m.changedAt = now
+	}
+	m.failures = 0
+}
+
+// reviveOnProbe records a healthy probe: failures reset, any state
+// returns to alive. It returns true exactly once per dead→alive
+// transition — the caller's cue to rebuild the ring with the member
+// back in.
+func (m *member) reviveOnProbe(now time.Time) (rejoined bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rejoined = m.state == StateDead
+	if m.state != StateAlive {
+		m.state = StateAlive
+		m.changedAt = now
+	}
+	m.failures = 0
+	return rejoined
+}
+
+// markDead administratively kills the member — the graceful-drain
+// path, where the shard said goodbye instead of going silent.
+func (m *member) markDead(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateDead {
+		m.state = StateDead
+		m.changedAt = now
+	}
+}
+
+// status snapshots the member for Fleet.Members.
+func (m *member) status(now time.Time) MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MemberStatus{
+		ID:       m.id,
+		Addr:     m.addr,
+		State:    m.state.String(),
+		Failures: m.failures,
+		ChangedAt: m.changedAt,
+	}
+	if m.state != StateAlive {
+		st.Sickness = now.Sub(m.changedAt)
+	}
+	return st
+}

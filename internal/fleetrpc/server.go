@@ -1,0 +1,230 @@
+package fleetrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"gesp/internal/krylov"
+	"gesp/internal/resilience"
+	"gesp/internal/serve"
+)
+
+// Server exposes one serve.Service shard over the fleet wire format.
+// cmd/gesp-serve mounts exactly this mux, so any gesp-serve process is
+// a fleet-joinable shard with no extra flags.
+type Server struct {
+	svc *serve.Service
+	// Degraded tunes the /v1/degraded iterative solve; zero fields take
+	// defaultDegradedOptions.
+	Degraded krylov.Options
+	// draining flips when a handoff has closed the service: health
+	// reports it so the coordinator's prober retires this member instead
+	// of resurrecting a shard that still answers but admits nothing.
+	draining atomic.Bool
+}
+
+// NewServer wraps a serve.Service in the wire handlers.
+func NewServer(svc *serve.Service) *Server { return &Server{svc: svc} }
+
+// Service returns the wrapped shard service (the coordinator-side
+// tests reach through it to inspect cache state).
+func (s *Server) Service() *serve.Service { return s.svc }
+
+// Mux returns the shard's HTTP API:
+//
+//	POST /v1/matrix    submit a system, get a handle
+//	POST /v1/solve     solve one right-hand side against a handle
+//	GET  /v1/stats     serve.Stats JSON
+//	GET  /v1/health    cheap liveness + load signal for the prober
+//	POST /v1/handoff   drain: finish queued work, return resident handles
+//	POST /v1/degraded  iterative solve from a raw matrix (no factoring)
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("POST /v1/handoff", s.handleHandoff)
+	mux.HandleFunc("POST /v1/degraded", s.handleDegraded)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("fleetrpc: encode response: %v", err)
+	}
+}
+
+// WriteErr maps the serve error taxonomy onto HTTP statuses the client
+// layer classifies: 503/429 retryable (with Retry-After where the
+// error carries a hint), 410 heal-by-resubmit, 504 deadline, 422
+// poisoned input, 400 everything else.
+func WriteErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var oe *serve.OverloadedError
+	switch {
+	case errors.As(err, &oe):
+		status = http.StatusServiceUnavailable
+		SetRetryAfter(w, oe.RetryAfter)
+	case errors.Is(err, serve.ErrOverloaded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrHandleExpired):
+		status = http.StatusGone // resubmit the matrix
+	case errors.Is(err, serve.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, resilience.ErrNonFiniteRHS):
+		status = http.StatusUnprocessableEntity // NaN/Inf in b; no rung can fix the input
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// SetRetryAfter writes a Retry-After header, rounding the duration UP
+// to whole seconds with a floor of 1: Retry-After speaks integer
+// seconds, and truncating a sub-second hint to 0 tells every rejected
+// client to retry immediately — the stampede the header exists to
+// prevent.
+func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteErr(w, fmt.Errorf("bad matrix body: %w", err))
+		return
+	}
+	a, err := AssembleMatrix(req)
+	if err != nil {
+		WriteErr(w, err)
+		return
+	}
+	h, err := s.svc.Submit(a)
+	if err != nil {
+		WriteErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MatrixResponse{Handle: h.String(), N: h.N, Nnz: a.Nnz()})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteErr(w, fmt.Errorf("bad solve body: %w", err))
+		return
+	}
+	h, err := serve.ParseHandle(req.Handle)
+	if err != nil {
+		WriteErr(w, err)
+		return
+	}
+	x, err := s.svc.SolveCtx(r.Context(), h, req.B)
+	if err != nil {
+		WriteErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{X: x})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     status,
+		QueueDepth: s.svc.QueueDepth(),
+		Factors:    st.FactorEntries,
+	})
+}
+
+// handleHandoff drains the shard: admission closes, queued solves
+// finish, and the resident factor keys come back so the coordinator
+// can re-home them. The factors themselves die with the process — over
+// a wire, moving them means re-factoring from the registered matrices,
+// which the coordinator does against the post-drain ring.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	s.draining.Store(true)
+	exp := s.svc.Drain()
+	res := HandoffResponse{Handles: make([]string, 0, len(exp.Factors))}
+	for _, f := range exp.Factors {
+		res.Handles = append(res.Handles, serve.Handle{Key: f.Key, N: f.N}.String())
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// defaultDegradedOptions bound the last-resort iterative solve: a
+// looser tolerance than the direct path's refinement target (the point
+// is an answer, not eps-level backward error) under a hard iteration
+// cap so a hopeless system cannot pin a surviving shard.
+func defaultDegradedOptions() krylov.Options {
+	return krylov.Options{Tol: 1e-8, MaxIter: 2000, Restart: 60}
+}
+
+func (s *Server) handleDegraded(w http.ResponseWriter, r *http.Request) {
+	var req DegradedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteErr(w, fmt.Errorf("bad degraded body: %w", err))
+		return
+	}
+	a, err := AssembleMatrix(req.Matrix)
+	if err != nil {
+		WriteErr(w, err)
+		return
+	}
+	if len(req.B) != a.Rows {
+		WriteErr(w, fmt.Errorf("right-hand side length %d, want %d", len(req.B), a.Rows))
+		return
+	}
+	opts := s.Degraded
+	d := defaultDegradedOptions()
+	if opts.Tol == 0 {
+		opts.Tol = d.Tol
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = d.MaxIter
+	}
+	if opts.Restart == 0 {
+		opts.Restart = d.Restart
+	}
+	ctx := r.Context()
+	opts.Cancel = func() bool { return ctx.Err() != nil }
+	// ILU0 is the preconditioner of the resilience ladder's iterative
+	// rung when no factors exist; a structurally unsuitable matrix
+	// falls back to unpreconditioned GMRES.
+	var pre krylov.Preconditioner = krylov.Identity{}
+	if ilu, ierr := krylov.NewILU0(a); ierr == nil {
+		pre = ilu
+	}
+	x := make([]float64, a.Rows)
+	x, st := krylov.GMRES(a, pre, x, req.B, opts)
+	switch {
+	case st.Canceled:
+		WriteErr(w, context.DeadlineExceeded)
+	case !st.Converged:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error: fmt.Sprintf("degraded solve did not converge: residual %.3g after %d iterations", st.Residual, st.Iterations),
+		})
+	default:
+		writeJSON(w, http.StatusOK, DegradedResponse{X: x, Iterations: st.Iterations, Residual: st.Residual})
+	}
+}

@@ -1,0 +1,84 @@
+package fleetrpc
+
+// Shard-process side of the chaos harness: the child run function that
+// faultsim's generic re-exec machinery is deliberately ignorant of.
+// RunShardIfChild turns any binary whose main (or TestMain) calls it
+// into a spawnable shard process, and SpawnShards launches a fleet of
+// them from the same binary. fleetrpc imports faultsim — never the
+// reverse — so every engine's test suite can keep importing faultsim's
+// deterministic injectors without a cycle through the serve stack.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"gesp/internal/faultsim"
+	"gesp/internal/serve"
+)
+
+// ShardConf is what the parent passes each child shard through the
+// environment. Zero values take the serve defaults.
+type ShardConf struct {
+	// MaxFactors caps the shard's factor cache (small values force the
+	// eviction/heal path under chaos).
+	MaxFactors int `json:"max_factors,omitempty"`
+	// MaxBatch/QueueCap tune the shard's batcher.
+	MaxBatch int `json:"max_batch,omitempty"`
+	QueueCap int `json:"queue_cap,omitempty"`
+}
+
+// RunShardIfChild is the re-exec hook: call it first thing in TestMain
+// (or a command's main). In the parent it returns immediately; in a
+// child spawned by SpawnShards it serves a shard until killed and
+// never returns.
+func RunShardIfChild() {
+	raw, ok := faultsim.ChildPayload()
+	if !ok {
+		return
+	}
+	if err := runShard(raw); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos shard: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func runShard(raw string) error {
+	var conf ShardConf
+	if err := json.Unmarshal([]byte(raw), &conf); err != nil {
+		return fmt.Errorf("bad shard conf: %w", err)
+	}
+	cfg := serve.DefaultConfig()
+	if conf.MaxFactors > 0 {
+		cfg.MaxFactors = conf.MaxFactors
+	}
+	if conf.MaxBatch > 0 {
+		cfg.MaxBatch = conf.MaxBatch
+	}
+	if conf.QueueCap > 0 {
+		cfg.QueueCap = conf.QueueCap
+	}
+	srv := NewServer(serve.New(cfg))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// The ready line is the parent's only synchronization point; it
+	// must go out after the listener is accepting.
+	faultsim.AnnounceReady(ln.Addr().String())
+	return http.Serve(ln, srv.Mux())
+}
+
+// SpawnShards re-executes the current binary n times as shard
+// processes (each must reach RunShardIfChild) and waits for each to
+// report its listen address.
+func SpawnShards(n int, conf ShardConf) (*faultsim.ProcSet, error) {
+	payload, err := json.Marshal(conf)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: encode shard conf: %w", err)
+	}
+	return faultsim.SpawnProcs(n, string(payload))
+}

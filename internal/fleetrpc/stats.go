@@ -1,0 +1,93 @@
+package fleetrpc
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// rpcMetrics is the coordinator's accounting, lock-free counters in
+// the style of fleet.metrics.
+type rpcMetrics struct {
+	routed       atomic.Uint64
+	retries      atomic.Uint64 // backoff-gated re-attempts of a whole request
+	failovers    atomic.Uint64 // same-attempt replica tries after a fast primary error
+	hedged       atomic.Uint64 // budget-granted hedge launches
+	hedgeWins    atomic.Uint64 // hedges where the replica answered first
+	resubmits    atomic.Uint64 // expired-handle heals from the registry
+	degraded     atomic.Uint64 // solves answered by the iterative fallback
+	failed       atomic.Uint64 // requests that exhausted the whole ladder
+	probes       atomic.Uint64
+	probeFails   atomic.Uint64
+	deaths       atomic.Uint64
+	rejoins      atomic.Uint64
+	drains       atomic.Uint64
+	rebuilds     atomic.Uint64 // ring swaps
+	rereplicated atomic.Uint64 // successful re-home submits after membership changes
+}
+
+// Stats is a point-in-time coordinator snapshot.
+type Stats struct {
+	Routed    uint64 `json:"routed"`
+	Retries   uint64 `json:"retries"`
+	Failovers uint64 `json:"failovers"`
+	Hedged    uint64 `json:"hedged"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// HedgeStaked/HedgeDenied are the hedge budget's grant and denial
+	// counts; zero when Config.HedgeBudget is unset.
+	HedgeStaked  uint64 `json:"hedge_staked,omitempty"`
+	HedgeDenied  uint64 `json:"hedge_denied,omitempty"`
+	Resubmits    uint64 `json:"resubmits"`
+	Degraded     uint64 `json:"degraded"`
+	Failed       uint64 `json:"failed"`
+	Probes       uint64 `json:"probes"`
+	ProbeFails   uint64 `json:"probe_fails"`
+	Deaths       uint64 `json:"deaths"`
+	Rejoins      uint64 `json:"rejoins"`
+	Drains       uint64 `json:"drains"`
+	Rebuilds     uint64 `json:"rebuilds"`
+	Rereplicated uint64 `json:"rereplicated"`
+
+	Members []MemberStatus `json:"members"`
+}
+
+func (m *rpcMetrics) snapshot() Stats {
+	return Stats{
+		Routed:       m.routed.Load(),
+		Retries:      m.retries.Load(),
+		Failovers:    m.failovers.Load(),
+		Hedged:       m.hedged.Load(),
+		HedgeWins:    m.hedgeWins.Load(),
+		Resubmits:    m.resubmits.Load(),
+		Degraded:     m.degraded.Load(),
+		Failed:       m.failed.Load(),
+		Probes:       m.probes.Load(),
+		ProbeFails:   m.probeFails.Load(),
+		Deaths:       m.deaths.Load(),
+		Rejoins:      m.rejoins.Load(),
+		Drains:       m.drains.Load(),
+		Rebuilds:     m.rebuilds.Load(),
+		Rereplicated: m.rereplicated.Load(),
+	}
+}
+
+// HedgeRate returns hedged/routed, or 0 before any traffic.
+func (s Stats) HedgeRate() float64 {
+	if s.Routed == 0 {
+		return 0
+	}
+	return float64(s.Hedged) / float64(s.Routed)
+}
+
+// String renders the coordinator summary plus one line per member.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "routed %d  retries %d  failovers %d  hedged %d (wins %d, budget-denied %d)  resubmits %d  degraded %d  failed %d\n",
+		s.Routed, s.Retries, s.Failovers, s.Hedged, s.HedgeWins, s.HedgeDenied, s.Resubmits, s.Degraded, s.Failed)
+	fmt.Fprintf(&b, "probes %d (%d failed)  deaths %d  rejoins %d  drains %d  ring rebuilds %d  re-replicated %d\n",
+		s.Probes, s.ProbeFails, s.Deaths, s.Rejoins, s.Drains, s.Rebuilds, s.Rereplicated)
+	for _, m := range s.Members {
+		fmt.Fprintf(&b, "member %d %s [%s] failures %d\n", m.ID, m.Addr, m.State, m.Failures)
+	}
+	return b.String()
+}
