@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race checktest chaostest fleetchaos servebench fleetbench faultbench perfsmoke verify bench
+.PHONY: build test vet lint race checktest chaostest fleetchaos hachaos servebench fleetbench faultbench perfsmoke verify bench
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ lint:
 # batching solve service, the sharded fleet router above it, and the
 # shared micro-kernels (read-only operand concurrency).
 race:
-	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/... ./internal/fleet/... ./internal/fleetrpc/... ./internal/kernels/...
+	$(GO) test -race -short ./internal/sched/... ./internal/lu/... ./internal/mpisim/... ./internal/dist/... ./internal/serve/... ./internal/fleet/... ./internal/fleetrpc/... ./internal/fleetha/... ./internal/kernels/...
 
 # Checked build: rerun the test suite with the gespcheck tag, which
 # re-validates every structural invariant (CSC columns, supernode
@@ -52,6 +52,17 @@ chaostest:
 fleetchaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestSpawnAndKill' ./internal/fleetrpc/ ./internal/faultsim/
 	$(GO) run ./cmd/gesp-bench -exp fleetproc -fleet-workers 4 -fleet-duration 500ms -scale 0.2
+
+# Coordinator-HA chaos: the replicated control plane under real
+# SIGKILL — leader election, fenced replication, registry takeover,
+# the redirect-following client — and the SLO controller's
+# promote/demote convergence against an injected straggler, plus a
+# short run of the ha ablation so the end-to-end pipeline (spawn
+# coordinators, elect, kill, fail over, report) stays wired. Skips
+# under -short, like fleetchaos.
+hachaos:
+	$(GO) test -race -count=1 -run 'TestHA' ./internal/fleetha/
+	$(GO) run ./cmd/gesp-bench -exp ha -fleet-workers 4 -fleet-duration 800ms -scale 0.2
 
 # Serving-layer smoke: one short closed-loop throughput measurement
 # plus a single-iteration run of the serve benchmark. Catches wiring
@@ -91,7 +102,7 @@ perfsmoke:
 # invariant-checked build, the fault drill, the process-kill chaos
 # drill, the serving-layer smoke, the fault-recovery smoke, and the
 # perf-gate smoke.
-verify: vet lint build test race checktest chaostest fleetchaos servebench fleetbench faultbench perfsmoke
+verify: vet lint build test race checktest chaostest fleetchaos hachaos servebench fleetbench faultbench perfsmoke
 
 # Full benchmark sweep: every package's Go benchmarks, then the
 # schema-versioned bench file (ns/op, allocs/op, Mflops per kernel and

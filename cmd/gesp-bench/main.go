@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gesp/internal/experiments"
+	"gesp/internal/fleetha"
 	"gesp/internal/fleetrpc"
 )
 
@@ -29,13 +30,14 @@ import (
 //
 //gesp:errok
 func main() {
-	// The fleetproc experiment re-executes this binary as shard
-	// processes; in a child this serves a shard and never returns.
+	// The fleetproc and ha experiments re-execute this binary as shard
+	// or coordinator processes; in a child these serve and never return.
+	fleetha.RunCoordinatorIfChild()
 	fleetrpc.RunShardIfChild()
 	log.SetFlags(0)
 	log.SetPrefix("gesp-bench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, fleet, fleetproc, resilience, faults, kernels")
+		exp      = flag.String("exp", "all", "experiment: all, serial (table1+fig2-6+nopivot), scaling (table2-5), table1, fig2, fig3, fig4, fig5, fig6, table2, table3, table4, table5, edag, pipeline, nopivot, blocksize, ordering, iterative, relax, redist, gridshape, parfactor, serve, fleet, fleetproc, ha, resilience, faults, kernels")
 		scale    = flag.Float64("scale", 0.5, "matrix scale factor (1.0 = larger, slower)")
 		procsF   = flag.String("procs", "4,8,16,32,64,128,256,512", "processor sweep for tables 3-5")
 		p5       = flag.Int("p5", 64, "processor count for table 5 (paper: 64)")
@@ -83,7 +85,7 @@ func main() {
 		"table2": true, "table3": true, "table4": true, "table5": true,
 		"edag": true, "pipeline": true, "nopivot": true, "blocksize": true,
 		"ordering": true, "iterative": true, "relax": true, "redist": true, "gridshape": true,
-		"parfactor": true, "serve": true, "fleet": true, "fleetproc": true, "resilience": true,
+		"parfactor": true, "serve": true, "fleet": true, "fleetproc": true, "ha": true, "resilience": true,
 		"faults": true, "kernels": true,
 	}
 	if !known[*exp] {
@@ -240,6 +242,13 @@ func main() {
 			log.Fatal(err)
 		}
 		experiments.PrintFleetProc(w, rows)
+	})
+	section("ha", func() {
+		rows, err := experiments.HAAblation(*fleetWorkers, *fleetDuration, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintHA(w, rows)
 	})
 	section("iterative", func() {
 		rows, err := experiments.IterativeAblation(

@@ -42,6 +42,7 @@ import (
 
 	"gesp/internal/experiments"
 	"gesp/internal/fleet"
+	"gesp/internal/fleetha"
 	"gesp/internal/fleetrpc"
 	"gesp/internal/serve"
 )
@@ -74,6 +75,12 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 2*time.Second, "join: per-attempt solve deadline")
 		degraded   = flag.Bool("degraded-fallback", true, "join: answer via a live shard's iterative path when every placement is down")
 
+		haID        = flag.Int("ha-id", -1, "join+HA: this coordinator's id (index into -ha-peers; -1 disables HA)")
+		haPeers     = flag.String("ha-peers", "", "join+HA: comma-separated coordinator addresses, one per replica, ours at index -ha-id")
+		haLease     = flag.Duration("ha-lease", time.Second, "join+HA: leader lease; followers elect after this long without a heartbeat")
+		haHeartbeat = flag.Duration("ha-heartbeat", 0, "join+HA: leader heartbeat period (0 = lease/4)")
+		haSLO       = flag.Duration("ha-slo", 0, "join+HA: p999 latency SLO driving the replica controller (0 disables the controller)")
+
 		loadMode = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
 		workers  = flag.Int("workers", 8, "load: concurrent closed-loop workers")
 		duration = flag.Duration("duration", 2*time.Second, "load: measurement duration")
@@ -96,6 +103,30 @@ func main() {
 		rcfg.HedgeBurst = *hedgeBurst
 		rcfg.RequestTimeout = *reqTimeout
 		rcfg.DegradedFallback = *degraded
+		if *haID >= 0 {
+			// HA mode: this process is one of N replicated coordinators
+			// running leader election; only the lease holder owns a fleet.
+			peers := strings.Split(*haPeers, ",")
+			ncfg := fleetha.Config{
+				ID:        *haID,
+				Peers:     peers,
+				Shards:    rcfg.Addrs,
+				Lease:     *haLease,
+				Heartbeat: *haHeartbeat,
+				Fleet:     rcfg,
+				Logf:      log.Printf,
+			}
+			if *haSLO > 0 {
+				ncfg.Controller = &fleetha.ControllerConfig{SLO: *haSLO}
+			}
+			node, err := fleetha.NewNode(ncfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("HA coordinator %d/%d on %s over %d shards (lease %v, SLO %v)",
+				*haID, len(peers), *addr, len(rcfg.Addrs), *haLease, *haSLO)
+			log.Fatal(http.ListenAndServe(*addr, node.Mux()))
+		}
 		rf, err := fleetrpc.New(rcfg)
 		if err != nil {
 			log.Fatal(err)

@@ -53,6 +53,8 @@ func main() {
 		solveTimeout = flag.Duration("solve-timeout", 0, "per-request solve deadline (0 = none)")
 		degrade      = flag.Bool("degrade", false, "on overload, serve a degraded factor-preconditioned GMRES solve instead of shedding with 503")
 
+		chaos = flag.Bool("chaos-delay", false, "accept POST /v1/chaos/delay to inject per-solve latency (testing/benchmarks only)")
+
 		loadMode = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
 		clients  = flag.Int("clients", 8, "load: concurrent closed-loop clients")
 		duration = flag.Duration("duration", 2*time.Second, "load: measurement duration")
@@ -88,6 +90,10 @@ func main() {
 	}
 
 	srv := fleetrpc.NewServer(serve.New(cfg))
+	var h http.Handler = srv.Mux()
+	if *chaos {
+		h = fleetrpc.WithChaosDelay(h)
+	}
 	log.Printf("listening on %s (max-batch %d, max-delay %v)", *addr, cfg.MaxBatch, cfg.MaxDelay)
-	log.Fatal(http.ListenAndServe(*addr, srv.Mux()))
+	log.Fatal(http.ListenAndServe(*addr, h))
 }

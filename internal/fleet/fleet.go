@@ -80,7 +80,7 @@ type shard struct {
 	svc    *serve.Service
 	alive  atomic.Bool
 	solves atomic.Uint64
-	lat    latHist
+	lat    LatHist
 }
 
 // Fleet routes solve traffic over a set of serve.Service shards by
@@ -305,7 +305,7 @@ func (f *Fleet) shouldHedge(primary *shard) bool {
 	if f.cfg.HedgeQueueDepth > 0 && primary.svc.QueueDepth() >= f.cfg.HedgeQueueDepth {
 		return true
 	}
-	if f.cfg.HedgeP95 > 0 && primary.lat.quantile(0.95) > f.cfg.HedgeP95 {
+	if f.cfg.HedgeP95 > 0 && primary.lat.Quantile(0.95) > f.cfg.HedgeP95 {
 		return true
 	}
 	return false
@@ -372,7 +372,7 @@ func (f *Fleet) solveOn(ctx context.Context, sh *shard, h serve.Handle, b []floa
 	if err != nil {
 		return nil, err
 	}
-	sh.lat.observe(time.Since(t0))
+	sh.lat.Observe(time.Since(t0))
 	sh.solves.Add(1)
 	return x, nil
 }
@@ -651,9 +651,9 @@ func (f *Fleet) Stats() Stats {
 			ID:       sh.id,
 			Alive:    sh.alive.Load(),
 			Solves:   sh.solves.Load(),
-			P50:      sh.lat.quantile(0.50),
-			P95:      sh.lat.quantile(0.95),
-			P99:      sh.lat.quantile(0.99),
+			P50:      sh.lat.Quantile(0.50),
+			P95:      sh.lat.Quantile(0.95),
+			P99:      sh.lat.Quantile(0.99),
 			QueueLen: sh.svc.QueueDepth(),
 			Serve:    sh.svc.Stats(),
 		})

@@ -9,32 +9,36 @@ import (
 	"gesp/internal/serve"
 )
 
-// latBuckets is the per-shard latency histogram resolution: bucket i
-// counts solves that took <= 1µs·2^i, the last bucket is overflow
-// (~134s). Power-of-two buckets make the quantile estimate cheap and
-// lock-free — the hedging decision reads it on every routed solve.
-const latBuckets = 28
+// LatBuckets is the latency histogram resolution: bucket i counts
+// solves that took <= 1µs·2^i, the last bucket is overflow (~134s).
+// Power-of-two buckets make the quantile estimate cheap and lock-free —
+// the hedging decision reads it on every routed solve.
+const LatBuckets = 28
 
-// latHist is a lock-free cumulative latency histogram.
-type latHist struct {
-	counts [latBuckets]atomic.Uint64
+// LatHist is a lock-free cumulative latency histogram. The in-process
+// fleet keeps one per shard for its p95 hedge trigger; the
+// cross-process coordinator keeps a fleet-wide one whose windowed
+// deltas (Snapshot) feed the SLO controller's p999 signal.
+type LatHist struct {
+	counts [LatBuckets]atomic.Uint64
 	total  atomic.Uint64
 }
 
-func (h *latHist) observe(d time.Duration) {
+// Observe records one latency sample.
+func (h *LatHist) Observe(d time.Duration) {
 	ns := d.Nanoseconds()
 	b := 0
-	for ub := int64(1000); b < latBuckets-1 && ns > ub; b++ {
+	for ub := int64(1000); b < LatBuckets-1 && ns > ub; b++ {
 		ub <<= 1
 	}
 	h.counts[b].Add(1)
 	h.total.Add(1)
 }
 
-// quantile returns an upper bound for the q-quantile (q in (0,1]): the
+// Quantile returns an upper bound for the q-quantile (q in (0,1]): the
 // top of the first bucket where the cumulative count reaches q·total.
 // Zero when nothing has been observed.
-func (h *latHist) quantile(q float64) time.Duration {
+func (h *LatHist) Quantile(q float64) time.Duration {
 	total := h.total.Load()
 	if total == 0 {
 		return 0
@@ -45,8 +49,57 @@ func (h *latHist) quantile(q float64) time.Duration {
 	}
 	var cum uint64
 	ub := int64(1000)
-	for b := 0; b < latBuckets; b++ {
+	for b := 0; b < LatBuckets; b++ {
 		cum += h.counts[b].Load()
+		if cum >= need {
+			return time.Duration(ub)
+		}
+		ub <<= 1
+	}
+	return time.Duration(ub)
+}
+
+// Snapshot copies the cumulative bucket counts and total. Two
+// snapshots subtract into a window (LatWindow), which is how an SLO
+// controller reads "p999 over the last evaluation period" from a
+// cumulative histogram.
+func (h *LatHist) Snapshot() (counts [LatBuckets]uint64, total uint64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.total.Load()
+}
+
+// LatWindow is the difference of two LatHist snapshots: the samples
+// observed between them.
+type LatWindow struct {
+	Counts [LatBuckets]uint64
+	Total  uint64
+}
+
+// WindowSince subtracts an earlier snapshot from a later one.
+func WindowSince(laterCounts [LatBuckets]uint64, laterTotal uint64, earlierCounts [LatBuckets]uint64, earlierTotal uint64) LatWindow {
+	var w LatWindow
+	for i := range w.Counts {
+		w.Counts[i] = laterCounts[i] - earlierCounts[i]
+	}
+	w.Total = laterTotal - earlierTotal
+	return w
+}
+
+// Quantile is LatHist.Quantile over the window's samples.
+func (w LatWindow) Quantile(q float64) time.Duration {
+	if w.Total == 0 {
+		return 0
+	}
+	need := uint64(q * float64(w.Total))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	ub := int64(1000)
+	for b := 0; b < LatBuckets; b++ {
+		cum += w.Counts[b]
 		if cum >= need {
 			return time.Duration(ub)
 		}

@@ -1,0 +1,378 @@
+package fleetha
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"gesp/internal/fleetrpc"
+	"gesp/internal/serve"
+	"gesp/internal/sparse"
+)
+
+// newPooledHTTPClient builds an HTTP client with its own cloned
+// transport, so closing one peer's idle sockets never touches
+// another's pool.
+func newPooledHTTPClient() *http.Client {
+	cli := &http.Client{
+		// HA calls follow redirects by hand — a replicate must never be
+		// silently re-routed.
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		cli.Transport = t.Clone()
+	}
+	return cli
+}
+
+// haDo posts (or gets) one JSON request to addr+path and decodes the
+// response, with the fleetrpc error taxonomy: non-200 decodes into
+// *fleetrpc.RemoteError, transport failures wrap ErrUnreachable.
+func haDo(ctx context.Context, hc *http.Client, addr, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("fleetha: marshal %s body: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+addr+path, body)
+	if err != nil {
+		return fmt.Errorf("fleetha: build %s request: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("%w: %s: %v", fleetrpc.ErrUnreachable, addr, err)
+	}
+	//gesp:errok — close of a fully-read (or error) response body; nothing to recover
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		re := &fleetrpc.RemoteError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				re.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		var eres fleetrpc.ErrorResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&eres); derr == nil && eres.Error != "" {
+			re.Msg = eres.Error
+		} else {
+			re.Msg = resp.Status
+		}
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: bad response body: %v", fleetrpc.ErrUnreachable, addr, err)
+	}
+	return nil
+}
+
+// Client is the coordinator-fleet client: it knows every coordinator
+// address, caches which one leads, follows 307/leader-hint redirects,
+// and fails over with the fleetrpc backoff when the leader dies
+// mid-election. A request issued the instant the leader is SIGKILL'd
+// retries through the election and lands on the successor — the
+// caller sees latency, never an error, as long as the retry budget
+// covers the lease.
+type Client struct {
+	coords []string
+	retry  fleetrpc.Backoff
+	// timeout bounds one attempt against one coordinator.
+	timeout time.Duration
+
+	mu sync.Mutex
+	//gesp:guardedby:mu
+	leader string // cached leader address ("" = unknown)
+	//gesp:guardedby:mu
+	failStreak int // consecutive failed attempts; reset on any success
+	//gesp:guardedby:mu
+	rng *rand.Rand
+
+	hc *http.Client
+}
+
+// ClientConfig parameterizes the HA client.
+type ClientConfig struct {
+	// Coordinators is the full coordinator address list.
+	Coordinators []string
+	// Retry is the per-request backoff ladder. The zero value takes a
+	// failover-tuned default: more attempts than the shard client so a
+	// request issued mid-election survives a full lease.
+	Retry fleetrpc.Backoff
+	// AttemptTimeout bounds one attempt (2s when 0).
+	AttemptTimeout time.Duration
+	// Seed drives the retry jitter (0 takes 1).
+	Seed int64
+}
+
+// NewClient builds an HA client over the coordinator list.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Coordinators) == 0 {
+		return nil, fmt.Errorf("fleetha: no coordinator addresses")
+	}
+	if cfg.Retry.Attempts == 0 {
+		cfg.Retry = fleetrpc.Backoff{Attempts: 10, Base: 20 * time.Millisecond, Max: 300 * time.Millisecond}
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Client{
+		coords:  append([]string(nil), cfg.Coordinators...),
+		retry:   cfg.Retry,
+		timeout: cfg.AttemptTimeout,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		hc:      newPooledHTTPClient(),
+	}, nil
+}
+
+// targets returns the attempt order: cached leader first, then every
+// coordinator (the leader again among them — a duplicate cheap try
+// beats a miss).
+func (c *Client) targets() []string {
+	c.mu.Lock()
+	leader := c.leader
+	c.mu.Unlock()
+	out := make([]string, 0, len(c.coords)+1)
+	if leader != "" {
+		out = append(out, leader)
+	}
+	out = append(out, c.coords...)
+	return out
+}
+
+// noteSuccess caches the leader and resets the failure streak — the
+// backoff-reset satellite's client-side half: a coordinator fleet
+// that just recovered answers the next transient error at Base delay,
+// not Max.
+func (c *Client) noteSuccess(leader string) {
+	c.mu.Lock()
+	c.leader = leader
+	c.failStreak = 0
+	c.mu.Unlock()
+}
+
+func (c *Client) noteFailure() {
+	c.mu.Lock()
+	c.failStreak++
+	c.mu.Unlock()
+}
+
+// do runs one logical request through leader discovery, redirect
+// following, and the retry ladder.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt-1, fleetrpc.RetryAfterHint(lastErr)); err != nil {
+				return err
+			}
+		}
+		for _, addr := range c.targets() {
+			actx, cancel := context.WithTimeout(ctx, c.timeout)
+			err := c.doOnce(actx, addr, method, path, in, out)
+			cancel()
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			if !fleetrpc.Retryable(err) && !isRedirectMiss(err) {
+				return err
+			}
+			if ctx.Err() != nil {
+				return lastErr
+			}
+		}
+		c.noteFailure()
+	}
+	return lastErr
+}
+
+// redirectMissError marks a redirect pointing at a node that is not
+// (or no longer) the leader — retryable: the election is converging.
+type redirectMissError struct{ to string }
+
+func (e *redirectMissError) Error() string {
+	return "fleetha: redirected to " + e.to + " which is not leading"
+}
+
+func isRedirectMiss(err error) bool {
+	var rm *redirectMissError
+	return errors.As(err, &rm)
+}
+
+// doOnce issues one attempt against one coordinator, following at
+// most one redirect hop (the follower's 307 to the leader).
+func (c *Client) doOnce(ctx context.Context, addr, method, path string, in, out any) error {
+	hop := addr
+	for redirects := 0; redirects < 2; redirects++ {
+		status, location, err := c.raw(ctx, hop, method, path, in, out)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusTemporaryRedirect {
+			if location == "" || location == hop {
+				return &redirectMissError{to: hop}
+			}
+			hop = location
+			continue
+		}
+		c.noteSuccess(hop)
+		return nil
+	}
+	return &redirectMissError{to: hop}
+}
+
+// raw performs one HTTP round trip; a 307 comes back as (status,
+// leader-addr) instead of an error so doOnce can hop.
+func (c *Client) raw(ctx context.Context, addr, method, path string, in, out any) (status int, location string, err error) {
+	var body io.Reader
+	if in != nil {
+		buf, merr := json.Marshal(in)
+		if merr != nil {
+			return 0, "", fmt.Errorf("fleetha: marshal %s body: %w", path, merr)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+addr+path, body)
+	if err != nil {
+		return 0, "", fmt.Errorf("fleetha: build %s request: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, "", cerr
+		}
+		return 0, "", fmt.Errorf("%w: %s: %v", fleetrpc.ErrUnreachable, addr, err)
+	}
+	//gesp:errok — close of a fully-read (or error) response body; nothing to recover
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		return resp.StatusCode, resp.Header.Get(LeaderHintHeader), nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		re := &fleetrpc.RemoteError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				re.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		var eres fleetrpc.ErrorResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&eres); derr == nil && eres.Error != "" {
+			re.Msg = eres.Error
+		} else {
+			re.Msg = resp.Status
+		}
+		return resp.StatusCode, "", re
+	}
+	if out != nil {
+		if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+			return resp.StatusCode, "", fmt.Errorf("%w: %s: bad response body: %v", fleetrpc.ErrUnreachable, addr, derr)
+		}
+	}
+	return resp.StatusCode, "", nil
+}
+
+// sleep waits out one retry step, folding the failure streak into the
+// schedule exactly like the shard coordinator does.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	c.mu.Lock()
+	u := c.rng.Float64()
+	streak := c.failStreak
+	c.mu.Unlock()
+	if streak > 4 {
+		streak = 4
+	}
+	// The streak and the attempt index measure the same outage from two
+	// clocks; charge the larger, not the sum, so a fresh request after
+	// a long outage still starts near the ceiling while a mid-request
+	// retry isn't double-billed.
+	eff := attempt
+	if streak > eff {
+		eff = streak
+	}
+	w := c.retry.Wait(eff, u, retryAfter)
+	t := time.NewTimer(w)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit registers a matrix with the coordinator fleet.
+func (c *Client) Submit(ctx context.Context, a *sparse.CSC) (serve.Handle, error) {
+	var res fleetrpc.MatrixResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/matrix", fleetrpc.WireMatrix(a), &res); err != nil {
+		return serve.Handle{}, err
+	}
+	return serve.ParseHandle(res.Handle)
+}
+
+// Solve routes one right-hand side.
+func (c *Client) Solve(ctx context.Context, h serve.Handle, b []float64) ([]float64, error) {
+	var res fleetrpc.SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", fleetrpc.SolveRequest{Handle: h.String(), B: b}, &res); err != nil {
+		return nil, err
+	}
+	if len(res.X) != h.N {
+		return nil, fmt.Errorf("%w: solution length %d, want %d", fleetrpc.ErrUnreachable, len(res.X), h.N)
+	}
+	return res.X, nil
+}
+
+// Stats fetches the leader's coordinator stats.
+func (c *Client) Stats(ctx context.Context) (fleetrpc.Stats, error) {
+	var res fleetrpc.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &res)
+	return res, err
+}
+
+// Status fetches one coordinator's election view directly (no
+// redirect — status is answered by every node).
+func (c *Client) Status(ctx context.Context, addr string) (StatusResponse, error) {
+	var res StatusResponse
+	err := haDo(ctx, c.hc, addr, http.MethodGet, "/ha/v1/status", nil, &res)
+	return res, err
+}
+
+// Trace fetches the leader's controller decision log.
+func (c *Client) Trace(ctx context.Context) (TraceResponse, error) {
+	var res TraceResponse
+	err := c.do(ctx, http.MethodGet, "/ha/v1/trace", nil, &res)
+	return res, err
+}
+
+// Leader returns the cached leader address ("" when unknown).
+func (c *Client) Leader() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leader
+}

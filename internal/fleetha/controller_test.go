@@ -1,0 +1,207 @@
+package fleetha
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func ctrlConfig() ControllerConfig {
+	return ControllerConfig{
+		SLO:              50 * time.Millisecond,
+		ClearFraction:    0.5,
+		BreachAfter:      2,
+		ClearAfter:       2,
+		CooldownWindows:  3,
+		MaxBoost:         2,
+		HotK:             2,
+		SpawnQueueDepth:  8,
+		MaxShards:        4,
+		MinWindowSamples: 10,
+	}
+}
+
+func breachSig(p999 time.Duration) Signals {
+	return Signals{P999: p999, Samples: 100, HotPatterns: []uint64{0xAA, 0xBB}, Shards: 2}
+}
+
+// TestControllerConvergence walks the acceptance scenario: a
+// straggler breaches p999 → promote within the cooldown budget →
+// breach clears → demote. The whole trajectory must hold the no-flap
+// bound: at most one direction change per cooldown window.
+func TestControllerConvergence(t *testing.T) {
+	cfg := ctrlConfig()
+	c := NewController(cfg)
+	var all []Decision
+
+	// two breach windows → exactly one promotion
+	for i := 0; i < cfg.BreachAfter; i++ {
+		all = append(all, c.Step(breachSig(80*time.Millisecond))...)
+	}
+	if len(all) != 1 || all[0].Action != ActPromote || all[0].Pattern != 0xAA {
+		t.Fatalf("after breach streak: decisions %+v, want one promote of hottest", all)
+	}
+	if all[0].Boost != 1 {
+		t.Fatalf("first promote boost = %d, want 1", all[0].Boost)
+	}
+
+	// continued breach inside the cooldown: silence, by design
+	for i := 0; i < cfg.CooldownWindows; i++ {
+		if ds := c.Step(breachSig(80 * time.Millisecond)); len(ds) != 0 {
+			t.Fatalf("decision inside cooldown: %+v", ds)
+		}
+	}
+
+	// the breach streak survived the cooldown, so the next window out
+	// of it escalates the same pattern one step further
+	second := c.Step(breachSig(80 * time.Millisecond))
+	if len(second) != 1 || second[0].Action != ActPromote || second[0].Pattern != 0xAA || second[0].Boost != 2 {
+		t.Fatalf("second escalation: %+v, want promote 0xAA to boost 2", second)
+	}
+	all = append(all, second...)
+
+	// hysteresis-band windows drain the cooldown without feeding either
+	// streak, then the breach clears: after ClearAfter clear windows,
+	// one demote of the promoted pattern
+	band := breachSig(35 * time.Millisecond)
+	for i := 0; i < cfg.CooldownWindows; i++ {
+		if ds := c.Step(band); len(ds) != 0 {
+			t.Fatalf("decision in band during cooldown: %+v", ds)
+		}
+	}
+	clear := breachSig(10 * time.Millisecond) // below ClearFraction*SLO
+	var downs []Decision
+	for i := 0; i < 20 && len(downs) < 1; i++ {
+		downs = append(downs, c.Step(clear)...)
+	}
+	if len(downs) != 1 || downs[0].Action != ActDemote || downs[0].Pattern != 0xAA {
+		t.Fatalf("after clear streak: %+v, want demote of 0xAA", downs)
+	}
+	all = append(all, downs...)
+
+	assertNoFlap(t, all, cfg.CooldownWindows)
+}
+
+// assertNoFlap checks ≤1 direction change per cooldown window: any
+// two consecutive decisions in opposite directions must be at least
+// CooldownWindows windows apart.
+func assertNoFlap(t *testing.T, ds []Decision, cooldown int) {
+	t.Helper()
+	dir := func(a Action) int {
+		switch a {
+		case ActPromote, ActSpawn:
+			return +1
+		case ActDemote, ActDrain:
+			return -1
+		}
+		return 0
+	}
+	for i := 1; i < len(ds); i++ {
+		if dir(ds[i].Action) != dir(ds[i-1].Action) {
+			if gap := ds[i].Window - ds[i-1].Window; gap <= cooldown {
+				t.Fatalf("flap: %s@w%d then %s@w%d (gap %d <= cooldown %d)",
+					ds[i-1].Action, ds[i-1].Window, ds[i].Action, ds[i].Window, gap, cooldown)
+			}
+		}
+	}
+}
+
+// TestControllerEscalatesToSpawn: when every hot pattern is at
+// MaxBoost and queues are deep, the next breach spawns a shard; when
+// the breach clears, the drain comes before any demote (LIFO).
+func TestControllerEscalatesToSpawn(t *testing.T) {
+	cfg := ctrlConfig()
+	c := NewController(cfg)
+	sig := breachSig(80 * time.Millisecond)
+	sig.QueueDepth = 20
+	var got []Decision
+	for i := 0; i < 60 && countAction(got, ActSpawn) == 0; i++ {
+		got = append(got, c.Step(sig)...)
+	}
+	if countAction(got, ActSpawn) != 1 {
+		t.Fatalf("no spawn after sustained breach at max boost: %+v", got)
+	}
+	// both hot patterns must have been fully boosted first
+	if n := countAction(got, ActPromote); n != 2*cfg.MaxBoost {
+		t.Fatalf("spawn before exhausting boosts: %d promotes, want %d", n, 2*cfg.MaxBoost)
+	}
+	// clear: first relax must be the drain
+	clear := breachSig(10 * time.Millisecond)
+	var downs []Decision
+	for i := 0; i < 60 && len(downs) == 0; i++ {
+		downs = append(downs, c.Step(clear)...)
+	}
+	if len(downs) == 0 || downs[0].Action != ActDrain {
+		t.Fatalf("first relax = %+v, want drain", downs)
+	}
+	assertNoFlap(t, append(got, downs...), cfg.CooldownWindows)
+}
+
+func countAction(ds []Decision, a Action) int {
+	n := 0
+	for _, d := range ds {
+		if d.Action == a {
+			n++
+		}
+	}
+	return n
+}
+
+// TestControllerHysteresisBand: p999 between ClearFraction·SLO and
+// SLO must neither promote nor demote, and must break streaks — the
+// no-flap property's middle ground.
+func TestControllerHysteresisBand(t *testing.T) {
+	cfg := ctrlConfig()
+	c := NewController(cfg)
+	band := breachSig(35 * time.Millisecond) // 0.5*50ms < 35ms < 50ms
+	for i := 0; i < 30; i++ {
+		if ds := c.Step(band); len(ds) != 0 {
+			t.Fatalf("decision in hysteresis band: %+v", ds)
+		}
+	}
+	// one breach window, then band: streak must have been broken
+	c.Step(breachSig(80 * time.Millisecond))
+	c.Step(band)
+	if ds := c.Step(breachSig(80 * time.Millisecond)); len(ds) != 0 {
+		t.Fatalf("band did not break the breach streak: %+v", ds)
+	}
+}
+
+// TestControllerIgnoresThinWindows: a breach-looking window with too
+// few samples is noise, not signal.
+func TestControllerIgnoresThinWindows(t *testing.T) {
+	cfg := ctrlConfig()
+	c := NewController(cfg)
+	thin := breachSig(500 * time.Millisecond)
+	thin.Samples = 3
+	for i := 0; i < 30; i++ {
+		if ds := c.Step(thin); len(ds) != 0 {
+			t.Fatalf("decision on %d samples: %+v", thin.Samples, ds)
+		}
+	}
+}
+
+// TestControllerReplay: Step is pure, so replaying a recorded signal
+// trace reproduces the decision log exactly.
+func TestControllerReplay(t *testing.T) {
+	cfg := ctrlConfig()
+	var trace []Signals
+	for i := 0; i < 12; i++ {
+		trace = append(trace, breachSig(80*time.Millisecond))
+	}
+	for i := 0; i < 12; i++ {
+		trace = append(trace, breachSig(10*time.Millisecond))
+	}
+	live := NewController(cfg)
+	var liveDs []Decision
+	for _, s := range trace {
+		liveDs = append(liveDs, live.Step(s)...)
+	}
+	if len(liveDs) == 0 {
+		t.Fatal("trace produced no decisions; test is vacuous")
+	}
+	replayed := Replay(cfg, trace)
+	if !reflect.DeepEqual(liveDs, replayed) {
+		t.Fatalf("replay diverged:\nlive:   %+v\nreplay: %+v", liveDs, replayed)
+	}
+}

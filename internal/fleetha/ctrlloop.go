@@ -1,0 +1,139 @@
+package fleetha
+
+import (
+	"context"
+	"time"
+
+	"gesp/internal/fleet"
+)
+
+// The leader-side half of the SLO controller: every Window, gather
+// one Signals sample from the fleet's published telemetry (windowed
+// histogram delta, stats deltas, prober queue gauges — zero extra
+// HTTP), step the pure controller, and apply whatever it decided.
+// Decisions append to the node's structured trace, served at
+// /ha/v1/trace.
+
+// controllerTick runs at most one controller window per call; the
+// node's tick loop calls it every heartbeat and the window gate keeps
+// the cadence.
+func (n *Node) controllerTick(now time.Time) {
+	n.mu.Lock()
+	ctrl := n.ctrl
+	fl := n.fleet
+	if ctrl == nil || fl == nil || now.Sub(n.lastCtrl) < ctrl.cfg.Window {
+		n.mu.Unlock()
+		return
+	}
+	n.lastCtrl = now
+	prevCounts, prevTotal := n.prevLatCounts, n.prevLatTotal
+	prevStats := n.prevStats
+	n.mu.Unlock()
+
+	counts, total := fl.LatSnapshot()
+	stats := fl.Stats()
+	win := fleet.WindowSince(counts, total, prevCounts, prevTotal)
+	routedDelta := stats.Routed - prevStats.Routed
+	healDelta := stats.Resubmits - prevStats.Resubmits
+	healRate := 0.0
+	if routedDelta > 0 {
+		healRate = float64(healDelta) / float64(routedDelta)
+	}
+	liveShards := 0
+	for _, m := range stats.Members {
+		if m.State != StateDeadName {
+			liveShards++
+		}
+	}
+	sig := Signals{
+		P999:        win.Quantile(0.999),
+		Samples:     win.Total,
+		HealRate:    healRate,
+		HedgeDenied: stats.HedgeDenied - prevStats.HedgeDenied,
+		QueueDepth:  fl.MaxQueueDepth(),
+		HotPatterns: fl.HotPatterns(ctrl.cfg.HotK),
+		Boosted:     fl.Boosted(),
+		Shards:      liveShards,
+	}
+
+	n.mu.Lock()
+	n.prevLatCounts, n.prevLatTotal = counts, total
+	n.prevStats = stats
+	decisions := ctrl.Step(sig)
+	n.mu.Unlock()
+
+	for _, d := range decisions {
+		n.applyDecision(d)
+		n.mu.Lock()
+		n.trace = append(n.trace, d)
+		n.mu.Unlock()
+		n.cfg.Logf("fleetha node %d: window %d %s: %s", n.cfg.ID, d.Window, d.Action, d.Reason)
+	}
+}
+
+// StateDeadName is the dead member state's wire name (avoids importing
+// the fleetrpc constant's String round-trip at every signal gather).
+const StateDeadName = "dead"
+
+// applyDecision executes one controller verb against the fleet and
+// scaler.
+func (n *Node) applyDecision(d Decision) {
+	n.mu.Lock()
+	fl := n.fleet
+	n.mu.Unlock()
+	if fl == nil {
+		return
+	}
+	switch d.Action {
+	case ActPromote:
+		fl.PromotePattern(d.Pattern, d.Boost)
+	case ActDemote:
+		fl.DemotePattern(d.Pattern)
+	case ActSpawn:
+		if n.cfg.Scaler == nil {
+			n.cfg.Logf("fleetha node %d: spawn decision with no scaler; skipped", n.cfg.ID)
+			return
+		}
+		addr, err := n.cfg.Scaler.Spawn()
+		if err != nil {
+			n.cfg.Logf("fleetha node %d: spawn failed: %v", n.cfg.ID, err)
+			return
+		}
+		if _, err := fl.AddMember(addr); err != nil {
+			n.cfg.Logf("fleetha node %d: add member %s failed: %v", n.cfg.ID, addr, err)
+			return
+		}
+		n.mu.Lock()
+		n.spawnedAddrs = append(n.spawnedAddrs, addr)
+		n.mu.Unlock()
+	case ActDrain:
+		if n.cfg.Scaler == nil {
+			return
+		}
+		n.mu.Lock()
+		if len(n.spawnedAddrs) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		addr := n.spawnedAddrs[len(n.spawnedAddrs)-1]
+		n.spawnedAddrs = n.spawnedAddrs[:len(n.spawnedAddrs)-1]
+		n.mu.Unlock()
+		id := -1
+		for i, a := range fl.Addrs() {
+			if a == addr {
+				id = i
+				break
+			}
+		}
+		if id >= 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := fl.Drain(ctx, id); err != nil {
+				n.cfg.Logf("fleetha node %d: drain member %d failed: %v", n.cfg.ID, id, err)
+			}
+			cancel()
+		}
+		if err := n.cfg.Scaler.Drain(addr); err != nil {
+			n.cfg.Logf("fleetha node %d: scaler drain %s failed: %v", n.cfg.ID, addr, err)
+		}
+	}
+}

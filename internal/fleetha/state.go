@@ -1,0 +1,98 @@
+package fleetha
+
+import (
+	"sync"
+
+	"gesp/internal/fleetrpc"
+	"gesp/internal/serve"
+)
+
+// replState is a follower's replica of the leader's durable state: the
+// registry of every acked handle plus the membership view. On
+// takeover it becomes the new leader's fleetrpc seed — which is the
+// whole point: the registry must not die with the coordinator.
+type replState struct {
+	mu sync.Mutex
+	//gesp:guardedby:mu
+	registry map[serve.Handle]fleetrpc.MatrixRequest
+	//gesp:guardedby:mu
+	shards []string
+	//gesp:guardedby:mu
+	dead []int
+	//gesp:guardedby:mu
+	epoch uint64
+	//gesp:guardedby:mu
+	ringGen uint64
+	//gesp:guardedby:mu
+	appliedSeq uint64
+}
+
+func newReplState(shards []string) *replState {
+	return &replState{
+		registry: make(map[serve.Handle]fleetrpc.MatrixRequest),
+		shards:   append([]string(nil), shards...),
+	}
+}
+
+// apply merges one replicate batch. Term fencing happened upstream —
+// by the time state applies, the sender is the accepted leader.
+func (s *replState) apply(req ReplicateRequest) (appliedSeq uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Full {
+		s.registry = make(map[serve.Handle]fleetrpc.MatrixRequest, len(req.Entries))
+	}
+	for _, e := range req.Entries {
+		h, perr := serve.ParseHandle(e.Handle)
+		if perr != nil {
+			return s.appliedSeq, perr
+		}
+		s.registry[h] = e.Matrix
+	}
+	if len(req.Shards) > 0 {
+		s.shards = append(s.shards[:0], req.Shards...)
+	}
+	s.dead = append(s.dead[:0], req.Dead...)
+	if req.Epoch > s.epoch {
+		s.epoch = req.Epoch
+	}
+	if req.RingGen > s.ringGen {
+		s.ringGen = req.RingGen
+	}
+	if req.Seq > s.appliedSeq {
+		s.appliedSeq = req.Seq
+	}
+	return s.appliedSeq, nil
+}
+
+// snapshot copies the replica for a takeover: the registry seeds the
+// new leader's fleet, the shard/dead lists rebuild its membership.
+func (s *replState) snapshot() (registry map[serve.Handle]fleetrpc.MatrixRequest, shards []string, dead []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	registry = make(map[serve.Handle]fleetrpc.MatrixRequest, len(s.registry))
+	//gesp:unordered — map copy; the seeded fleet re-sorts its own views
+	for h, w := range s.registry {
+		registry[h] = w
+	}
+	return registry, append([]string(nil), s.shards...), append([]int(nil), s.dead...)
+}
+
+// mergeFromFleet folds a deposed leader's fleet view back into the
+// replica: registry entries union in, membership is replaced.
+func (s *replState) mergeFromFleet(registry map[serve.Handle]fleetrpc.MatrixRequest, shards []string, dead []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//gesp:unordered — map union; last-writer-wins per key, keys disjointly owned
+	for h, w := range registry {
+		s.registry[h] = w
+	}
+	s.shards = append(s.shards[:0], shards...)
+	s.dead = append(s.dead[:0], dead...)
+}
+
+func (s *replState) stats() (appliedSeq uint64, registryLen int, epoch, ringGen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedSeq, len(s.registry), s.epoch, s.ringGen
+}

@@ -43,6 +43,14 @@ func (b Backoff) fill() Backoff {
 // the caller's seeded generator; retryAfter is the shard's hint (0 for
 // none). Must be called on a filled Backoff.
 func (b Backoff) wait(attempt int, u float64, retryAfter time.Duration) time.Duration {
+	return b.Wait(attempt, u, retryAfter)
+}
+
+// Wait is wait for sibling packages (the HA coordinator client reuses
+// this ladder for coordinator failover): defaults are filled, so any
+// Backoff value is safe to call.
+func (b Backoff) Wait(attempt int, u float64, retryAfter time.Duration) time.Duration {
+	b = b.fill()
 	d := float64(b.Base)
 	for i := 0; i < attempt; i++ {
 		d *= b.Multiplier

@@ -80,9 +80,32 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// NewClient builds a client for one shard address.
+// NewClient builds a client for one shard address with its own
+// connection pool (a clone of the default transport, not a share of
+// it), so CloseIdle can drop exactly this member's sockets when it
+// dies without touching the pools of its healthy peers.
 func NewClient(addr string) *Client {
-	return &Client{Addr: addr, HTTP: &http.Client{}}
+	cli := &http.Client{}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		cli.Transport = t.Clone()
+	}
+	return &Client{Addr: addr, HTTP: cli}
+}
+
+// CloseIdle closes the client's pooled keep-alive connections. The
+// coordinator calls it when the member transitions to dead or is
+// drained: a long-running coordinator must not hold sockets to killed
+// shard processes for its own lifetime. In-flight requests are
+// untouched, and a revived member just redials.
+func (c *Client) CloseIdle() {
+	if c.HTTP == nil || c.HTTP.Transport == nil {
+		http.DefaultClient.CloseIdleConnections()
+		return
+	}
+	type idleCloser interface{ CloseIdleConnections() }
+	if t, ok := c.HTTP.Transport.(idleCloser); ok {
+		t.CloseIdleConnections()
+	}
 }
 
 // do posts (or gets, when in is nil and method is GET) one request and

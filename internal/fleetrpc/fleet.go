@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,13 @@ var ErrNoLiveShards = errors.New("fleetrpc: no live shards")
 // buffers stay on the stack.
 const maxReplication = 4
 
+// backoffSickCap bounds how many of a member's consecutive failures
+// fold into the retry schedule: a member that has been failing for a
+// while starts near the wait ceiling immediately, but the penalty is
+// bounded — and it resets to zero on the member's first success, so a
+// recovered shard's next transient error waits Base, not Max.
+const backoffSickCap = 4
+
 // Config parameterizes the cross-process coordinator.
 type Config struct {
 	// Addrs are the shard processes' host:port listen addresses. Member
@@ -32,7 +40,8 @@ type Config struct {
 	// Replication is how many members hold each pattern (owner
 	// included): every Submit lands on the owner and Replication-1 ring
 	// successors, so a failover target already has the factors. <=0
-	// takes 2; capped at maxReplication.
+	// takes 2; capped at maxReplication. PromotePattern widens a single
+	// pattern beyond this at runtime (the SLO controller's knob).
 	Replication int
 	// VNodes is the consistent-hash points per member (fleet.DefaultVNodes
 	// when <=0).
@@ -41,6 +50,11 @@ type Config struct {
 	// ProbeInterval is the health-check period (50ms when <=0): every
 	// member is probed concurrently each tick.
 	ProbeInterval time.Duration
+	// ProbeJitter widens each prober tick by up to ±this fraction of
+	// ProbeInterval, so N coordinators started together do not
+	// synchronize their probe bursts against the same shard. 0 takes
+	// 0.2; negative disables jitter (tests that count exact ticks).
+	ProbeJitter float64
 	// ProbeTimeout bounds one /v1/health round trip (4x ProbeInterval
 	// when <=0). A SIGSTOPped shard accepts the connection and then
 	// hangs, so the timeout — not a refused connect — is what detects a
@@ -81,6 +95,19 @@ type Config struct {
 	// answer instead of an error.
 	DegradedFallback bool
 
+	// SeedRegistry pre-populates the wire-matrix registry. This is the
+	// HA takeover path: a follower coordinator that wins an election
+	// rebuilds its Fleet with the registry its leader streamed to it, so
+	// every handle the old leader ever acked survives the failover. The
+	// new coordinator re-replicates the seeded patterns in the
+	// background at startup.
+	SeedRegistry map[serve.Handle]MatrixRequest
+	// DeadMembers are Addrs indexes to treat as dead from birth — the
+	// previous leader's replicated membership view, so a failed-over
+	// coordinator starts with the ring its predecessor was routing on
+	// instead of rediscovering every death at a probe interval's cost.
+	DeadMembers []int
+
 	// Seed seeds the coordinator's jitter source (0 takes 1); fixed so
 	// retry schedules reproduce in tests.
 	Seed int64
@@ -113,6 +140,12 @@ func (c *Config) fillDefaults() {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 50 * time.Millisecond
 	}
+	switch {
+	case c.ProbeJitter == 0:
+		c.ProbeJitter = 0.2
+	case c.ProbeJitter < 0:
+		c.ProbeJitter = 0
+	}
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 4 * c.ProbeInterval
 	}
@@ -140,15 +173,25 @@ func (c *Config) fillDefaults() {
 // health-checked membership, retry/backoff, a hedging budget, and
 // degraded fallback. Safe for concurrent use.
 type Fleet struct {
-	cfg     Config
-	members []*member
-	hedge   *fleet.HedgeBudget
-	m       rpcMetrics
+	cfg   Config
+	hedge *fleet.HedgeBudget
+	m     rpcMetrics
+	// lat is the fleet-wide client-observed solve latency histogram;
+	// windowed snapshots of it are the SLO controller's p999 signal.
+	lat fleet.LatHist
+
+	// members is the membership table, copy-on-write: AddMember swaps in
+	// an extended copy so readers (prober, placement) iterate a
+	// consistent snapshot without a lock. Member ids are indexes and
+	// never change; existing *member values are shared between copies.
+	members atomic.Pointer[[]*member]
 
 	// ring is the current placement over non-dead member ids;
 	// immutable, rebuilt and swapped atomically on every membership
-	// change so the routing path takes no lock.
-	ring atomic.Pointer[fleet.Ring]
+	// change so the routing path takes no lock. ringGen counts swaps —
+	// the generation the HA layer streams to follower coordinators.
+	ring    atomic.Pointer[fleet.Ring]
+	ringGen atomic.Uint64
 
 	mu sync.Mutex
 	// registry keeps every submitted system in wire form, encoded once:
@@ -156,8 +199,16 @@ type Fleet struct {
 	// re-replicate after a death, and to feed the degraded path.
 	//gesp:guardedby:mu
 	registry map[serve.Handle]MatrixRequest
-	// rng drives retry jitter; seeded so schedules reproduce, guarded
-	// because rand.Rand is not concurrency-safe.
+	// replBoost widens a single pattern's placement beyond
+	// cfg.Replication (pattern -> extra replicas) — the SLO controller's
+	// promote/demote knob.
+	//gesp:guardedby:mu
+	replBoost map[uint64]int
+	// popCount counts routed solves per pattern, feeding HotPatterns.
+	//gesp:guardedby:mu
+	popCount map[uint64]uint64
+	// rng drives retry and probe jitter; seeded so schedules reproduce,
+	// guarded because rand.Rand is not concurrency-safe.
 	//gesp:guardedby:mu
 	rng *rand.Rand
 
@@ -177,20 +228,37 @@ func New(cfg Config) (*Fleet, error) {
 	cfg.fillDefaults()
 	now := time.Now()
 	f := &Fleet{
-		cfg:      cfg,
-		hedge:    fleet.NewHedgeBudget(cfg.HedgeBudget, cfg.HedgeBurst),
-		registry: make(map[serve.Handle]MatrixRequest),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		hedge:     fleet.NewHedgeBudget(cfg.HedgeBudget, cfg.HedgeBurst),
+		registry:  make(map[serve.Handle]MatrixRequest),
+		replBoost: make(map[uint64]int),
+		popCount:  make(map[uint64]uint64),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		stop:      make(chan struct{}),
 	}
-	ids := make([]int, len(cfg.Addrs))
+	members := make([]*member, len(cfg.Addrs))
 	for i, addr := range cfg.Addrs {
-		ids[i] = i
-		f.members = append(f.members, newMember(i, addr, now))
+		members[i] = newMember(i, addr, now)
 	}
-	f.ring.Store(fleet.NewRing(ids, cfg.VNodes))
+	for _, id := range cfg.DeadMembers {
+		if id >= 0 && id < len(members) {
+			members[id].markDead(now)
+		}
+	}
+	f.members.Store(&members)
+	//gesp:unordered — map copy into the registry; placement derives from each key alone
+	for h, w := range cfg.SeedRegistry {
+		f.registry[h] = w
+	}
+	f.rebuildRing()
 	f.wg.Add(1)
 	go f.prober()
+	if len(f.registry) > 0 {
+		// A takeover coordinator re-homes its inherited registry under
+		// its own ring before traffic needs the factors; the shards'
+		// caches make the duplicate submits lookups, not refactors.
+		f.rereplicateAsync()
+	}
 	return f, nil
 }
 
@@ -204,11 +272,59 @@ func (f *Fleet) Close() {
 	f.wg.Wait()
 }
 
+// memberList snapshots the copy-on-write membership table. Ids are
+// stable indexes into the snapshot.
+func (f *Fleet) memberList() []*member { return *f.members.Load() }
+
+// AddMember grows the fleet with a new shard process at addr and
+// returns its id. The ring rebuild places it immediately; the
+// background re-replication then moves the patterns it now owns onto
+// it. This is the SLO controller's scale-up knob.
+func (f *Fleet) AddMember(addr string) (int, error) {
+	if f.closed.Load() {
+		return 0, serve.ErrClosed
+	}
+	f.mu.Lock()
+	old := f.memberList()
+	id := len(old)
+	grown := make([]*member, id+1)
+	copy(grown, old)
+	grown[id] = newMember(id, addr, time.Now())
+	f.members.Store(&grown)
+	f.mu.Unlock()
+	f.m.scaleUps.Add(1)
+	f.rebuildRing()
+	f.rereplicateAsync()
+	return id, nil
+}
+
+// probeWait is the jittered pause before the next probe sweep: the
+// configured interval widened by up to ±ProbeJitter of itself, drawn
+// from the seeded source. Fleets of coordinators started in the same
+// millisecond drift apart instead of stampeding every shard's health
+// endpoint in lockstep.
+func (f *Fleet) probeWait() time.Duration {
+	if f.cfg.ProbeJitter == 0 {
+		return f.cfg.ProbeInterval
+	}
+	f.mu.Lock()
+	u := f.rng.Float64()
+	f.mu.Unlock()
+	return jitterInterval(f.cfg.ProbeInterval, f.cfg.ProbeJitter, u)
+}
+
+// jitterInterval spreads base over [base*(1-frac), base*(1+frac)] by
+// the uniform draw u in [0,1).
+func jitterInterval(base time.Duration, frac, u float64) time.Duration {
+	return time.Duration(float64(base) * (1 + frac*(2*u-1)))
+}
+
 // prober walks every member each tick, concurrently: a wedged member
-// must not delay the detection of the next one.
+// must not delay the detection of the next one. Ticks are jittered
+// (probeWait) so coordinator fleets desynchronize.
 func (f *Fleet) prober() {
 	defer f.wg.Done()
-	t := time.NewTicker(f.cfg.ProbeInterval)
+	t := time.NewTimer(f.probeWait())
 	defer t.Stop()
 	for {
 		select {
@@ -216,7 +332,7 @@ func (f *Fleet) prober() {
 			return
 		case <-t.C:
 			var wg sync.WaitGroup
-			for _, mb := range f.members {
+			for _, mb := range f.memberList() {
 				wg.Add(1)
 				go func(mb *member) {
 					defer wg.Done()
@@ -224,6 +340,7 @@ func (f *Fleet) prober() {
 				}(mb)
 			}
 			wg.Wait()
+			t.Reset(f.probeWait())
 		}
 	}
 }
@@ -246,6 +363,7 @@ func (f *Fleet) probe(mb *member) {
 		}
 		return
 	}
+	mb.noteHealth(res)
 	if mb.reviveOnProbe(time.Now()) {
 		f.onRejoin(mb)
 	}
@@ -277,9 +395,12 @@ func (f *Fleet) noteResult(mb *member, err error) {
 // onDeath and onRejoin handle the two ring-changing transitions:
 // rebuild placement, then re-replicate the registry under the new ring
 // so every pattern's factors exist at its (possibly new) owner and
-// replicas before traffic needs them.
+// replicas before traffic needs them. A death also closes the pooled
+// connections to the corpse — a long-running coordinator must not keep
+// sockets to killed shards alive for the process's lifetime.
 func (f *Fleet) onDeath(mb *member) {
 	f.m.deaths.Add(1)
+	mb.cli.CloseIdle()
 	f.rebuildRing()
 	f.rereplicateAsync()
 }
@@ -296,13 +417,15 @@ func (f *Fleet) onRejoin(mb *member) {
 func (f *Fleet) rebuildRing() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	ids := make([]int, 0, len(f.members))
-	for _, mb := range f.members {
+	members := f.memberList()
+	ids := make([]int, 0, len(members))
+	for _, mb := range members {
 		if mb.currentState() != StateDead {
 			ids = append(ids, mb.id)
 		}
 	}
 	f.ring.Store(fleet.NewRing(ids, f.cfg.VNodes))
+	f.ringGen.Add(1)
 	f.m.rebuilds.Add(1)
 }
 
@@ -312,37 +435,46 @@ func (f *Fleet) rebuildRing() {
 // already holding them answer from cache (the serve layer's factor
 // cache makes a duplicate submit a lookup, not a refactorization).
 func (f *Fleet) rereplicateAsync() {
+	f.rereplicateWhere(func(uint64) bool { return true })
+}
+
+// rereplicateWhere re-homes the registered patterns selected by keep.
+// The registry key already carries the pattern fingerprint
+// (Handle.Key.Pattern), so selection costs no matrix assembly.
+func (f *Fleet) rereplicateWhere(keep func(pattern uint64) bool) {
 	if f.closed.Load() {
 		return
 	}
+	type entry struct {
+		pattern uint64
+		wire    MatrixRequest
+	}
 	f.mu.Lock()
-	wires := make([]MatrixRequest, 0, len(f.registry))
+	entries := make([]entry, 0, len(f.registry))
 	//gesp:unordered — each pattern re-homes independently; placement order is irrelevant
-	for _, w := range f.registry {
-		wires = append(wires, w)
+	for h, w := range f.registry {
+		if keep(h.Key.Pattern) {
+			entries = append(entries, entry{pattern: h.Key.Pattern, wire: w})
+		}
 	}
 	f.mu.Unlock()
-	if len(wires) == 0 {
+	if len(entries) == 0 {
 		return
 	}
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
-		for _, w := range wires {
+		for _, e := range entries {
 			select {
 			case <-f.stop:
 				return
 			default:
 			}
-			pattern, ok := wirePattern(w)
-			if !ok {
-				continue
-			}
 			var buf [maxReplication]*member
-			n := f.placementInto(buf[:], pattern)
+			n := f.placementInto(buf[:], e.pattern)
 			for i := 0; i < n; i++ {
 				ctx, cancel := context.WithTimeout(context.Background(), f.cfg.SubmitTimeout)
-				_, err := buf[i].cli.SubmitWire(ctx, w)
+				_, err := buf[i].cli.SubmitWire(ctx, e.wire)
 				cancel()
 				f.noteResult(buf[i], err)
 				if err == nil {
@@ -353,15 +485,97 @@ func (f *Fleet) rereplicateAsync() {
 	}()
 }
 
-// wirePattern recomputes a wire matrix's pattern fingerprint by
-// assembling it; re-replication is rare (membership changes only) so
-// the assembly cost is irrelevant next to the factorization it seeds.
-func wirePattern(w MatrixRequest) (uint64, bool) {
-	a, err := AssembleMatrix(w)
-	if err != nil {
-		return 0, false
+// replWidth is a pattern's current placement width: the configured
+// replication plus any controller boost, capped at maxReplication.
+func (f *Fleet) replWidth(pattern uint64) int {
+	w := f.cfg.Replication
+	f.mu.Lock()
+	w += f.replBoost[pattern]
+	f.mu.Unlock()
+	if w > maxReplication {
+		w = maxReplication
 	}
-	return sparse.PatternHash(a), true
+	return w
+}
+
+// PromotePattern widens pattern's placement by extra replicas (capped
+// at maxReplication total) and re-factors it onto the new placement in
+// the background. The SLO controller calls this when the tail breaches;
+// it is idempotent at a given width.
+func (f *Fleet) PromotePattern(pattern uint64, extra int) {
+	if extra < 0 {
+		extra = 0
+	}
+	f.mu.Lock()
+	prev := f.replBoost[pattern]
+	if extra == 0 {
+		delete(f.replBoost, pattern)
+	} else {
+		f.replBoost[pattern] = extra
+	}
+	f.mu.Unlock()
+	if extra > prev {
+		f.m.promotions.Add(1)
+		f.rereplicateWhere(func(p uint64) bool { return p == pattern })
+	}
+}
+
+// DemotePattern restores pattern's placement to the configured
+// replication. No data moves: the extra replicas simply stop being
+// placed, and their cached factors age out of the shards' LRUs.
+func (f *Fleet) DemotePattern(pattern uint64) {
+	f.mu.Lock()
+	_, had := f.replBoost[pattern]
+	delete(f.replBoost, pattern)
+	f.mu.Unlock()
+	if had {
+		f.m.demotions.Add(1)
+	}
+}
+
+// Boosted lists the currently promoted patterns (ascending, for
+// deterministic output).
+func (f *Fleet) Boosted() []uint64 {
+	f.mu.Lock()
+	out := make([]uint64, 0, len(f.replBoost))
+	//gesp:unordered — sorted below
+	for p := range f.replBoost {
+		out = append(out, p)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HotPatterns returns up to k patterns by routed-solve count,
+// descending, ties broken by pattern value so the order is
+// deterministic.
+func (f *Fleet) HotPatterns(k int) []uint64 {
+	type pc struct {
+		p uint64
+		c uint64
+	}
+	f.mu.Lock()
+	all := make([]pc, 0, len(f.popCount))
+	//gesp:unordered — sorted below
+	for p, c := range f.popCount {
+		all = append(all, pc{p, c})
+	}
+	f.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].p < all[j].p
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].p
+	}
+	return out
 }
 
 // placementInto writes the pattern's placement — healthiest first —
@@ -371,8 +585,9 @@ func wirePattern(w MatrixRequest) (uint64, bool) {
 // better holds the factors.
 func (f *Fleet) placementInto(dst []*member, pattern uint64) int {
 	ring := f.ring.Load()
+	members := f.memberList()
 	var ids [maxReplication]int
-	rf := f.cfg.Replication
+	rf := f.replWidth(pattern)
 	n := ring.ReplicasInto(ids[:rf], pattern)
 	k := 0
 	for pass := 0; pass < 2; pass++ {
@@ -381,7 +596,7 @@ func (f *Fleet) placementInto(dst []*member, pattern uint64) int {
 			want = StateSuspect
 		}
 		for i := 0; i < n && k < len(dst); i++ {
-			if mb := f.members[ids[i]]; mb.currentState() == want {
+			if mb := members[ids[i]]; mb.currentState() == want {
 				dst[k] = mb
 				k++
 			}
@@ -392,12 +607,20 @@ func (f *Fleet) placementInto(dst []*member, pattern uint64) int {
 
 // sleep pauses for the retry schedule's next wait (attempt counts
 // retries, 0 = first retry), honoring the shard's Retry-After hint and
-// the caller's context.
-func (f *Fleet) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+// the caller's context. sick is the failed member's consecutive-failure
+// count: a member that has been failing for a while is charged extra
+// schedule steps (capped at backoffSickCap) so retries against it back
+// off to the ceiling quickly — and because the count resets on the
+// member's first success, a recovered shard's next transient error
+// starts the schedule from Base again.
+func (f *Fleet) sleep(ctx context.Context, attempt, sick int, retryAfter time.Duration) error {
 	f.mu.Lock()
 	u := f.rng.Float64()
 	f.mu.Unlock()
-	w := f.cfg.Retry.wait(attempt, u, retryAfter)
+	if sick > backoffSickCap {
+		sick = backoffSickCap
+	}
+	w := f.cfg.Retry.wait(attempt+sick, u, retryAfter)
 	t := time.NewTimer(w)
 	defer t.Stop()
 	select {
@@ -424,10 +647,11 @@ func (f *Fleet) SubmitCtx(ctx context.Context, a *sparse.CSC) (serve.Handle, err
 	wire := WireMatrix(a)
 	pattern := sparse.PatternHash(a)
 	var lastErr error
+	var lastSick int
 	for attempt := 0; attempt < f.cfg.Retry.Attempts; attempt++ {
 		if attempt > 0 {
 			f.m.retries.Add(1)
-			if err := f.sleep(ctx, attempt-1, RetryAfterHint(lastErr)); err != nil {
+			if err := f.sleep(ctx, attempt-1, lastSick, RetryAfterHint(lastErr)); err != nil {
 				return serve.Handle{}, err
 			}
 		}
@@ -435,6 +659,7 @@ func (f *Fleet) SubmitCtx(ctx context.Context, a *sparse.CSC) (serve.Handle, err
 		n := f.placementInto(buf[:], pattern)
 		if n == 0 {
 			lastErr = ErrNoLiveShards
+			lastSick = 0
 			continue
 		}
 		sctx, cancel := context.WithTimeout(ctx, f.cfg.SubmitTimeout)
@@ -443,6 +668,7 @@ func (f *Fleet) SubmitCtx(ctx context.Context, a *sparse.CSC) (serve.Handle, err
 		f.noteResult(buf[0], err)
 		if err != nil {
 			lastErr = err
+			lastSick = buf[0].failureCount()
 			if !Retryable(err) {
 				return serve.Handle{}, err
 			}
@@ -464,6 +690,26 @@ func (f *Fleet) SubmitCtx(ctx context.Context, a *sparse.CSC) (serve.Handle, err
 	return serve.Handle{}, lastErr
 }
 
+// Registry snapshots the wire-matrix registry — the state the HA layer
+// replicates to follower coordinators so a takeover loses no handles.
+func (f *Fleet) Registry() map[serve.Handle]MatrixRequest {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[serve.Handle]MatrixRequest, len(f.registry))
+	//gesp:unordered — map copy; the replication layer tracks per-handle acks, not order
+	for h, w := range f.registry {
+		out[h] = w
+	}
+	return out
+}
+
+// RegistryLen is the number of registered systems.
+func (f *Fleet) RegistryLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.registry)
+}
+
 // Solve routes one right-hand side with the background context.
 func (f *Fleet) Solve(h serve.Handle, b []float64) ([]float64, error) {
 	return f.SolveCtx(context.Background(), h, b)
@@ -479,13 +725,18 @@ func (f *Fleet) SolveCtx(ctx context.Context, h serve.Handle, b []float64) ([]fl
 	if f.closed.Load() {
 		return nil, serve.ErrClosed
 	}
+	t0 := time.Now()
 	f.m.routed.Add(1)
+	f.mu.Lock()
+	f.popCount[h.Key.Pattern]++
+	f.mu.Unlock()
 	f.hedge.Accrue()
 	var lastErr error
+	var lastSick int
 	for attempt := 0; attempt < f.cfg.Retry.Attempts; attempt++ {
 		if attempt > 0 {
 			f.m.retries.Add(1)
-			if err := f.sleep(ctx, attempt-1, RetryAfterHint(lastErr)); err != nil {
+			if err := f.sleep(ctx, attempt-1, lastSick, RetryAfterHint(lastErr)); err != nil {
 				f.m.failed.Add(1)
 				return nil, err
 			}
@@ -494,6 +745,7 @@ func (f *Fleet) SolveCtx(ctx context.Context, h serve.Handle, b []float64) ([]fl
 		n := f.placementInto(buf[:], h.Key.Pattern)
 		if n == 0 {
 			lastErr = ErrNoLiveShards
+			lastSick = 0
 			continue
 		}
 		primary := buf[0]
@@ -503,9 +755,11 @@ func (f *Fleet) SolveCtx(ctx context.Context, h serve.Handle, b []float64) ([]fl
 		}
 		x, err := f.solvePlaced(ctx, primary, replica, h, b)
 		if err == nil {
+			f.lat.Observe(time.Since(t0))
 			return x, nil
 		}
 		lastErr = err
+		lastSick = primary.failureCount()
 		switch {
 		case Expired(err):
 			// Factors evicted (or the shard restarted empty): re-factor
@@ -524,6 +778,7 @@ func (f *Fleet) SolveCtx(ctx context.Context, h serve.Handle, b []float64) ([]fl
 	if f.cfg.DegradedFallback {
 		if x, derr := f.solveDegraded(ctx, h, b); derr == nil {
 			f.m.degraded.Add(1)
+			f.lat.Observe(time.Since(t0))
 			return x, nil
 		}
 	}
@@ -643,7 +898,7 @@ func (f *Fleet) solveDegraded(ctx context.Context, h serve.Handle, b []float64) 
 		if pass == 1 {
 			want = StateSuspect
 		}
-		for _, mb := range f.members {
+		for _, mb := range f.memberList() {
 			if mb.currentState() != want {
 				continue
 			}
@@ -669,15 +924,17 @@ func (f *Fleet) solveDegraded(ctx context.Context, h serve.Handle, b []float64) 
 // registry. The process itself stays up, answering "draining" to
 // probes, until its owner stops it.
 func (f *Fleet) Drain(ctx context.Context, id int) error {
-	if id < 0 || id >= len(f.members) {
+	members := f.memberList()
+	if id < 0 || id >= len(members) {
 		return fmt.Errorf("fleetrpc: no member %d", id)
 	}
-	mb := f.members[id]
+	mb := members[id]
 	_, err := mb.cli.Handoff(ctx)
 	if err != nil {
 		return err
 	}
 	mb.markDead(time.Now())
+	mb.cli.CloseIdle()
 	f.m.drains.Add(1)
 	f.rebuildRing()
 	f.rereplicateAsync()
@@ -687,9 +944,32 @@ func (f *Fleet) Drain(ctx context.Context, id int) error {
 // Members snapshots every member's health state.
 func (f *Fleet) Members() []MemberStatus {
 	now := time.Now()
-	out := make([]MemberStatus, 0, len(f.members))
-	for _, mb := range f.members {
+	members := f.memberList()
+	out := make([]MemberStatus, 0, len(members))
+	for _, mb := range members {
 		out = append(out, mb.status(now))
+	}
+	return out
+}
+
+// Addrs lists every member's address, id order — dead ones included,
+// so the HA layer can stream the full topology to followers.
+func (f *Fleet) Addrs() []string {
+	members := f.memberList()
+	out := make([]string, len(members))
+	for i, mb := range members {
+		out[i] = mb.addr
+	}
+	return out
+}
+
+// DeadIDs lists the members currently dead or drained, ascending.
+func (f *Fleet) DeadIDs() []int {
+	var out []int
+	for _, mb := range f.memberList() {
+		if mb.currentState() == StateDead {
+			out = append(out, mb.id)
+		}
 	}
 	return out
 }
@@ -697,10 +977,40 @@ func (f *Fleet) Members() []MemberStatus {
 // Ring exposes the current placement ring (tests, status endpoints).
 func (f *Fleet) Ring() *fleet.Ring { return f.ring.Load() }
 
+// RingGen counts ring swaps — the membership epoch the HA layer
+// streams to follower coordinators.
+func (f *Fleet) RingGen() uint64 { return f.ringGen.Load() }
+
+// LatSnapshot copies the fleet-wide latency histogram; the SLO
+// controller diffs consecutive snapshots into per-window quantiles.
+func (f *Fleet) LatSnapshot() (counts [fleet.LatBuckets]uint64, total uint64) {
+	return f.lat.Snapshot()
+}
+
+// MaxQueueDepth is the deepest per-member queue the prober has seen on
+// its latest sweep — the SLO controller's congestion signal.
+func (f *Fleet) MaxQueueDepth() int64 {
+	var depth int64
+	for _, mb := range f.memberList() {
+		if d := mb.queueDepth(); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
 // Stats snapshots the coordinator counters and membership.
 func (f *Fleet) Stats() Stats {
 	s := f.m.snapshot()
 	s.HedgeStaked, s.HedgeDenied = f.hedge.Counts()
 	s.Members = f.Members()
+	s.RingGen = f.ringGen.Load()
+	f.mu.Lock()
+	s.RegistryLen = len(f.registry)
+	s.Promoted = len(f.replBoost)
+	f.mu.Unlock()
+	s.P50 = f.lat.Quantile(0.50)
+	s.P99 = f.lat.Quantile(0.99)
+	s.P999 = f.lat.Quantile(0.999)
 	return s
 }

@@ -45,12 +45,15 @@ func (s MemberState) String() string {
 // experiment measures failover detection latency as the dead
 // transition's ChangedAt minus the kill time.
 type MemberStatus struct {
-	ID       int           `json:"id"`
-	Addr     string        `json:"addr"`
-	State    string        `json:"state"`
-	Failures int           `json:"failures"`
-	ChangedAt time.Time    `json:"changed_at"`
-	Sickness time.Duration `json:"-"` // time since leaving alive; 0 when alive
+	ID        int       `json:"id"`
+	Addr      string    `json:"addr"`
+	State     string    `json:"state"`
+	Failures  int       `json:"failures"`
+	ChangedAt time.Time `json:"changed_at"`
+	// QueueDepth is the shard's queued-work gauge from its latest
+	// healthy probe — the SLO controller's congestion signal.
+	QueueDepth int64         `json:"queue_depth"`
+	Sickness   time.Duration `json:"-"` // time since leaving alive; 0 when alive
 }
 
 // member is one shard process in the coordinator's membership table.
@@ -69,6 +72,8 @@ type member struct {
 	failures int
 	//gesp:guardedby:mu
 	changedAt time.Time
+	//gesp:guardedby:mu
+	lastQueue int64
 }
 
 func newMember(id int, addr string, now time.Time) *member {
@@ -80,6 +85,29 @@ func (m *member) currentState() MemberState {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.state
+}
+
+// failureCount reads the member's consecutive-failure count — the
+// retry layer's sickness signal (folded into the backoff schedule and
+// reset by the member's first success).
+func (m *member) failureCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failures
+}
+
+// noteHealth stores the gauges from a healthy probe response.
+func (m *member) noteHealth(res HealthResponse) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastQueue = res.QueueDepth
+}
+
+// queueDepth reads the last probed queue gauge.
+func (m *member) queueDepth() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastQueue
 }
 
 // reportFailure counts one failed probe or transport-failed request
@@ -150,11 +178,12 @@ func (m *member) status(now time.Time) MemberStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := MemberStatus{
-		ID:       m.id,
-		Addr:     m.addr,
-		State:    m.state.String(),
-		Failures: m.failures,
-		ChangedAt: m.changedAt,
+		ID:         m.id,
+		Addr:       m.addr,
+		State:      m.state.String(),
+		Failures:   m.failures,
+		ChangedAt:  m.changedAt,
+		QueueDepth: m.lastQueue,
 	}
 	if m.state != StateAlive {
 		st.Sickness = now.Sub(m.changedAt)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // rpcMetrics is the coordinator's accounting, lock-free counters in
@@ -24,6 +25,9 @@ type rpcMetrics struct {
 	drains       atomic.Uint64
 	rebuilds     atomic.Uint64 // ring swaps
 	rereplicated atomic.Uint64 // successful re-home submits after membership changes
+	promotions   atomic.Uint64 // pattern replication boosts (SLO controller)
+	demotions    atomic.Uint64 // pattern boosts removed
+	scaleUps     atomic.Uint64 // members added at runtime (AddMember)
 }
 
 // Stats is a point-in-time coordinator snapshot.
@@ -47,6 +51,21 @@ type Stats struct {
 	Drains       uint64 `json:"drains"`
 	Rebuilds     uint64 `json:"rebuilds"`
 	Rereplicated uint64 `json:"rereplicated"`
+	Promotions   uint64 `json:"promotions"`
+	Demotions    uint64 `json:"demotions"`
+	ScaleUps     uint64 `json:"scale_ups"`
+
+	// RingGen is the placement epoch (rebuild count); Promoted the
+	// number of currently boosted patterns; RegistryLen the registered
+	// systems. P50/P99/P999 are fleet-wide client-observed solve
+	// latencies since startup (the SLO controller uses windowed deltas,
+	// not these cumulative values).
+	RingGen     uint64        `json:"ring_gen"`
+	Promoted    int           `json:"promoted"`
+	RegistryLen int           `json:"registry_len"`
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	P999        time.Duration `json:"p999_ns"`
 
 	Members []MemberStatus `json:"members"`
 }
@@ -68,6 +87,9 @@ func (m *rpcMetrics) snapshot() Stats {
 		Drains:       m.drains.Load(),
 		Rebuilds:     m.rebuilds.Load(),
 		Rereplicated: m.rereplicated.Load(),
+		Promotions:   m.promotions.Load(),
+		Demotions:    m.demotions.Load(),
+		ScaleUps:     m.scaleUps.Load(),
 	}
 }
 
@@ -84,10 +106,12 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "routed %d  retries %d  failovers %d  hedged %d (wins %d, budget-denied %d)  resubmits %d  degraded %d  failed %d\n",
 		s.Routed, s.Retries, s.Failovers, s.Hedged, s.HedgeWins, s.HedgeDenied, s.Resubmits, s.Degraded, s.Failed)
-	fmt.Fprintf(&b, "probes %d (%d failed)  deaths %d  rejoins %d  drains %d  ring rebuilds %d  re-replicated %d\n",
-		s.Probes, s.ProbeFails, s.Deaths, s.Rejoins, s.Drains, s.Rebuilds, s.Rereplicated)
+	fmt.Fprintf(&b, "probes %d (%d failed)  deaths %d  rejoins %d  drains %d  ring rebuilds %d (gen %d)  re-replicated %d\n",
+		s.Probes, s.ProbeFails, s.Deaths, s.Rejoins, s.Drains, s.Rebuilds, s.RingGen, s.Rereplicated)
+	fmt.Fprintf(&b, "promotions %d  demotions %d  scale-ups %d  boosted %d  registry %d  p50 %v  p99 %v  p999 %v\n",
+		s.Promotions, s.Demotions, s.ScaleUps, s.Promoted, s.RegistryLen, s.P50, s.P99, s.P999)
 	for _, m := range s.Members {
-		fmt.Fprintf(&b, "member %d %s [%s] failures %d\n", m.ID, m.Addr, m.State, m.Failures)
+		fmt.Fprintf(&b, "member %d %s [%s] failures %d queue %d\n", m.ID, m.Addr, m.State, m.Failures, m.QueueDepth)
 	}
 	return b.String()
 }
