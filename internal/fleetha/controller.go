@@ -145,7 +145,12 @@ type Controller struct {
 	boosts map[uint64]int
 	// promoteOrder remembers promotion order for LIFO demotion.
 	promoteOrder []uint64
-	// spawned counts controller-added shards still live.
+	// spawned counts controller-added shards still live. It is bumped
+	// by NoteSpawned — i.e. only after the apply layer actually spawned
+	// and registered the shard — not when the Spawn decision is emitted,
+	// so a failed spawn cannot leave the model ahead of reality (which
+	// would turn later clear windows into no-op drains, each burning a
+	// full cooldown).
 	spawned int
 }
 
@@ -229,7 +234,6 @@ func (c *Controller) escalate(sig Signals) *Decision {
 	}
 	if c.cfg.SpawnQueueDepth > 0 && c.cfg.MaxShards > 0 &&
 		sig.QueueDepth >= c.cfg.SpawnQueueDepth && sig.Shards < c.cfg.MaxShards {
-		c.spawned++
 		return &Decision{
 			Window: c.window,
 			Action: ActSpawn,
@@ -273,15 +277,31 @@ func (c *Controller) relax(sig Signals) *Decision {
 // Window reports how many windows have been stepped.
 func (c *Controller) Window() int { return c.window }
 
+// NoteSpawned confirms a Spawn decision took effect: the apply layer
+// calls it after the Scaler produced a shard and the fleet registered
+// it. A Spawn whose apply failed is never noted, so the controller's
+// next breach window re-decides instead of believing in a shard that
+// does not exist — and its clear windows demote promotions rather
+// than emitting drains with nothing to drain.
+func (c *Controller) NoteSpawned() { c.spawned++ }
+
 // Replay runs a fresh controller over a recorded signal trace and
 // returns the full decision sequence — byte-for-byte what the live
 // controller decided, because Step is pure. This is the audit story:
-// persist the Signals, reproduce the Decisions.
+// persist the Signals, reproduce the Decisions. Replay assumes every
+// Spawn decision was applied successfully (it notes them itself); a
+// live run whose spawn failed diverges from that point, visibly, in
+// the absence of the corresponding drain.
 func Replay(cfg ControllerConfig, trace []Signals) []Decision {
 	c := NewController(cfg)
 	var out []Decision
 	for _, sig := range trace {
-		out = append(out, c.Step(sig)...)
+		for _, d := range c.Step(sig) {
+			if d.Action == ActSpawn {
+				c.NoteSpawned()
+			}
+			out = append(out, d)
+		}
 	}
 	return out
 }

@@ -106,6 +106,18 @@ func assertNoFlap(t *testing.T, ds []Decision, cooldown int) {
 	}
 }
 
+// stepNoting steps the controller and, like the live apply layer on a
+// successful spawn, confirms any Spawn decision with NoteSpawned.
+func stepNoting(c *Controller, sig Signals) []Decision {
+	ds := c.Step(sig)
+	for _, d := range ds {
+		if d.Action == ActSpawn {
+			c.NoteSpawned()
+		}
+	}
+	return ds
+}
+
 // TestControllerEscalatesToSpawn: when every hot pattern is at
 // MaxBoost and queues are deep, the next breach spawns a shard; when
 // the breach clears, the drain comes before any demote (LIFO).
@@ -116,7 +128,7 @@ func TestControllerEscalatesToSpawn(t *testing.T) {
 	sig.QueueDepth = 20
 	var got []Decision
 	for i := 0; i < 60 && countAction(got, ActSpawn) == 0; i++ {
-		got = append(got, c.Step(sig)...)
+		got = append(got, stepNoting(c, sig)...)
 	}
 	if countAction(got, ActSpawn) != 1 {
 		t.Fatalf("no spawn after sustained breach at max boost: %+v", got)
@@ -135,6 +147,37 @@ func TestControllerEscalatesToSpawn(t *testing.T) {
 		t.Fatalf("first relax = %+v, want drain", downs)
 	}
 	assertNoFlap(t, append(got, downs...), cfg.CooldownWindows)
+}
+
+// TestControllerSpawnFailureNotCounted: a Spawn decision whose apply
+// failed (no NoteSpawned) must not enter the controller's model — the
+// first relax after the clear must demote a promotion, not emit a
+// drain against a shard that never existed.
+func TestControllerSpawnFailureNotCounted(t *testing.T) {
+	cfg := ctrlConfig()
+	c := NewController(cfg)
+	sig := breachSig(80 * time.Millisecond)
+	sig.QueueDepth = 20
+	var got []Decision
+	// breach to the spawn decision, but never confirm it — the apply
+	// layer's Scaler failed
+	for i := 0; i < 60 && countAction(got, ActSpawn) == 0; i++ {
+		got = append(got, c.Step(sig)...)
+	}
+	if countAction(got, ActSpawn) != 1 {
+		t.Fatalf("no spawn decision emitted: %+v", got)
+	}
+	clear := breachSig(10 * time.Millisecond)
+	var downs []Decision
+	for i := 0; i < 60 && len(downs) == 0; i++ {
+		downs = append(downs, c.Step(clear)...)
+	}
+	if len(downs) == 0 {
+		t.Fatal("no relax decision after the clear")
+	}
+	if downs[0].Action != ActDemote {
+		t.Fatalf("first relax = %s, want demote (a failed spawn must not be drained)", downs[0].Action)
+	}
 }
 
 func countAction(ds []Decision, a Action) int {

@@ -91,6 +91,9 @@ func (n *Node) applyDecision(d Decision) {
 		fl.DemotePattern(d.Pattern)
 	case ActSpawn:
 		if n.cfg.Scaler == nil {
+			// unreachable when the leader gated the controller's spawn
+			// knobs on Scaler presence, but a replayed/injected decision
+			// must still not corrupt the model
 			n.cfg.Logf("fleetha node %d: spawn decision with no scaler; skipped", n.cfg.ID)
 			return
 		}
@@ -99,41 +102,43 @@ func (n *Node) applyDecision(d Decision) {
 			n.cfg.Logf("fleetha node %d: spawn failed: %v", n.cfg.ID, err)
 			return
 		}
-		if _, err := fl.AddMember(addr); err != nil {
+		id, err := fl.AddMember(addr)
+		if err != nil {
 			n.cfg.Logf("fleetha node %d: add member %s failed: %v", n.cfg.ID, addr, err)
 			return
 		}
+		// confirm only now: the controller's spawned count must track
+		// shards that exist, not spawn attempts
 		n.mu.Lock()
-		n.spawnedAddrs = append(n.spawnedAddrs, addr)
+		n.spawnedShards = append(n.spawnedShards, spawnedShard{id: id, addr: addr})
+		if n.ctrl != nil {
+			n.ctrl.NoteSpawned()
+		}
 		n.mu.Unlock()
 	case ActDrain:
 		if n.cfg.Scaler == nil {
 			return
 		}
 		n.mu.Lock()
-		if len(n.spawnedAddrs) == 0 {
+		if len(n.spawnedShards) == 0 {
 			n.mu.Unlock()
 			return
 		}
-		addr := n.spawnedAddrs[len(n.spawnedAddrs)-1]
-		n.spawnedAddrs = n.spawnedAddrs[:len(n.spawnedAddrs)-1]
+		sh := n.spawnedShards[len(n.spawnedShards)-1]
+		n.spawnedShards = n.spawnedShards[:len(n.spawnedShards)-1]
 		n.mu.Unlock()
-		id := -1
-		for i, a := range fl.Addrs() {
-			if a == addr {
-				id = i
-				break
-			}
+		// drain by the member id AddMember assigned, not by address:
+		// ids are append-only, while an OS-recycled port can make this
+		// shard share an address with a long-dead member — an address
+		// search would match the stale entry and leave the live shard
+		// in the ring while the Scaler kills its process.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := fl.Drain(ctx, sh.id); err != nil {
+			n.cfg.Logf("fleetha node %d: drain member %d failed: %v", n.cfg.ID, sh.id, err)
 		}
-		if id >= 0 {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			if err := fl.Drain(ctx, id); err != nil {
-				n.cfg.Logf("fleetha node %d: drain member %d failed: %v", n.cfg.ID, id, err)
-			}
-			cancel()
-		}
-		if err := n.cfg.Scaler.Drain(addr); err != nil {
-			n.cfg.Logf("fleetha node %d: scaler drain %s failed: %v", n.cfg.ID, addr, err)
+		cancel()
+		if err := n.cfg.Scaler.Drain(sh.addr); err != nil {
+			n.cfg.Logf("fleetha node %d: scaler drain %s failed: %v", n.cfg.ID, sh.addr, err)
 		}
 	}
 }

@@ -240,6 +240,86 @@ func TestFailoverPreservesRegistry(t *testing.T) {
 	checkSolution(t, x2, want)
 }
 
+// TestTakeoverUnionsFollowerRegistries is the asymmetric-replication
+// durability regression: an entry the old leader replicated to only
+// the *higher-id* follower must survive a takeover by the lower-id
+// follower — the claimant's read-quorum fetch must union the peer's
+// registry before it seeds its fleet. Without the read quorum, node 1
+// would win on id alone with an empty registry and its Full snapshot
+// broadcast would erase the entry fleet-wide.
+func TestTakeoverUnionsFollowerRegistries(t *testing.T) {
+	shards := testShardServers(t, 2)
+	c := startCluster(t, 3, shards, func(id int, cfg *Config) {
+		// node 1 is the only node that can start an election; 0 and 2
+		// hold their (huge) leases so the test controls the sequence
+		cfg.Heartbeat = 50 * time.Millisecond
+		if id == 1 {
+			cfg.Lease = 300 * time.Millisecond
+		} else {
+			cfg.Lease = time.Hour
+		}
+	})
+
+	// factor a real system on the shards through a throwaway direct
+	// fleet, so the injected registry entry carries the true handle and
+	// the shards already hold its factors
+	a, b, want := testbedSystem(t, "SHERMAN4", 1)
+	fcfg := fleetrpc.DefaultConfig(shards)
+	fcfg.ProbeInterval = 20 * time.Millisecond
+	direct, err := fleetrpc.New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := direct.Submit(a)
+	direct.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := fleetrpc.WireMatrix(a)
+
+	// simulate the dying leader's asymmetric stream: the entry reached
+	// only follower 2; follower 1 saw just a heartbeat at the same term
+	if resp := c.nodes[2].handleReplicate(ReplicateRequest{
+		Term: 5, LeaderID: 0, LeaderAddr: c.addrs[0], Shards: shards,
+		Entries: []RegistryEntry{{Handle: h.String(), Matrix: wire}},
+	}); !resp.OK {
+		t.Fatalf("injected replicate rejected: %+v", resp)
+	}
+	if resp := c.nodes[1].handleReplicate(ReplicateRequest{
+		Term: 5, LeaderID: 0, LeaderAddr: c.addrs[0], Shards: shards,
+	}); !resp.OK {
+		t.Fatalf("injected heartbeat rejected: %+v", resp)
+	}
+	if n := c.nodes[1].RegistryLen(); n != 0 {
+		t.Fatalf("follower 1 holds %d entries before takeover, want 0 (test premise)", n)
+	}
+
+	// the leader dies; follower 1 (lowest live id, but missing the
+	// entry) must take over WITH the entry, by reading follower 2
+	c.killNode(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.nodes[1].Role() != Leader {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 1 never took over; status: %+v", c.nodes[1].Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if term := c.nodes[1].Term(); term <= 5 {
+		t.Fatalf("takeover term %d not above injected term 5", term)
+	}
+	if n := c.nodes[1].RegistryLen(); n != 1 {
+		t.Fatalf("takeover leader registry has %d entries, want 1 — acked entry lost", n)
+	}
+	// and the handle must actually solve through the new leader
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	x, err := c.nodes[1].Solve(ctx, h, b)
+	if err != nil {
+		t.Fatalf("solve of the unioned handle: %v", err)
+	}
+	checkSolution(t, x, want)
+}
+
 // TestFollowerRedirects: a request aimed at a follower must land on
 // the leader via the 307 hop, and the client must cache the leader.
 func TestFollowerRedirects(t *testing.T) {

@@ -28,6 +28,7 @@ func (n *Node) Mux() *http.ServeMux {
 	mux.HandleFunc("/v1/solve", n.handleSolve)
 	mux.HandleFunc("/v1/stats", n.handleStats)
 	mux.HandleFunc("/ha/v1/status", n.handleStatus)
+	mux.HandleFunc("/ha/v1/state", n.handleState)
 	mux.HandleFunc("/ha/v1/replicate", n.handleReplicateHTTP)
 	mux.HandleFunc("/ha/v1/trace", n.handleTrace)
 	return mux
@@ -137,6 +138,10 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	haWriteJSON(w, http.StatusOK, n.Status())
+}
+
+func (n *Node) handleState(w http.ResponseWriter, _ *http.Request) {
+	haWriteJSON(w, http.StatusOK, n.ExportState())
 }
 
 func (n *Node) handleReplicateHTTP(w http.ResponseWriter, r *http.Request) {

@@ -27,11 +27,21 @@ import (
 // wins — no randomized votes, so the failover target is predictable
 // and the election needs exactly one probe round.
 //
-// Durability: the leader acks a client submit only after at least one
-// follower has acked the registry entry (when followers exist), so a
-// SIGKILL'd leader cannot take an acked handle with it. Solves are
-// idempotent and stateless, so a stale leader serving one last solve
-// is harmless; the fencing protects the registry and membership view.
+// Durability: the leader acks a client submit only after a majority
+// of the coordinator set holds the registry entry — itself plus
+// floor(N/2) followers — and a claimant completes its election only
+// after reading (and unioning) the replicas of enough peers that its
+// read set intersects every possible write set: itself plus
+// ceil(N/2)-1 peers. Any acked entry therefore lives on at least one
+// node the winner read, whichever follower wins — the lowest live id
+// never takes over with a registry missing an acked handle, even when
+// the ack landed on a different follower. Solves are idempotent and
+// stateless, so a stale leader serving one last solve is harmless;
+// the fencing protects the registry and membership view. The price is
+// availability: with fewer than a majority of coordinators reachable,
+// submits fail retryably and takeovers wait (lone-node and two-node
+// deployments degenerate gracefully — the only follower holds every
+// acked entry, so it may claim alone).
 
 // Scaler provisions shard processes for the SLO controller. Spawn
 // returns the new shard's address; Drain retires one previously
@@ -158,7 +168,7 @@ type Node struct {
 	//gesp:guardedby:mu
 	prevStats fleetrpc.Stats
 	//gesp:guardedby:mu
-	spawnedAddrs []string
+	spawnedShards []spawnedShard
 
 	state *replState
 	peers []*haPeer // nil at own index
@@ -173,6 +183,30 @@ type haPeer struct {
 	id   int
 	addr string
 	hc   *http.Client
+}
+
+// spawnedShard records one controller-spawned shard by the member id
+// AddMember assigned it — drains go by id, not by address, because
+// member ids are append-only while an OS-recycled port can make a new
+// shard reuse a dead member's address.
+type spawnedShard struct {
+	id   int
+	addr string
+}
+
+// submitAcksNeeded is how many follower acks a submit requires before
+// the client is acked: floor(N/2), which with the leader itself makes
+// a majority of the coordinator set.
+func (n *Node) submitAcksNeeded() int {
+	return len(n.cfg.Peers) / 2
+}
+
+// electionReadsNeeded is how many peer replicas (besides our own) a
+// claimant must fetch and union before taking over: the read set
+// {self + fetched} must intersect every write set {old leader +
+// floor(N/2) followers}, which needs ceil(N/2) reads total.
+func (n *Node) electionReadsNeeded() int {
+	return (len(n.cfg.Peers)+1)/2 - 1
 }
 
 // NewNode builds and starts a coordinator node. Every node starts as
@@ -270,7 +304,10 @@ func (n *Node) leaseJitteredLocked() time.Duration {
 }
 
 // runElection probes every peer; any reachable lower id means defer,
-// none means claim.
+// none means claim — but only after reading a quorum of peer replicas
+// and unioning them into our own (see the durability comment above):
+// the winner must hold every handle any follower acked, not just the
+// ones the old leader happened to stream to *us*.
 func (n *Node) runElection(now time.Time) {
 	type probeRes struct {
 		id int
@@ -297,19 +334,24 @@ func (n *Node) runElection(now time.Time) {
 	leaderSeen := -1
 	leaderAddr := ""
 	var leaderTerm uint64
+	var reachable []int
 	for i := 0; i < probes; i++ {
 		r := <-results
 		if !r.ok {
 			continue
 		}
+		reachable = append(reachable, r.id)
 		if r.st.Term > maxTerm {
 			maxTerm = r.st.Term
 		}
 		if r.id < n.cfg.ID {
 			lowerAlive = true
 		}
-		if r.st.Role == RoleLeader && r.st.Term >= leaderTerm {
-			leaderSeen, leaderAddr, leaderTerm = r.st.ID, n.cfg.Peers[r.st.ID], r.st.Term
+		// a status is self-describing: a peer claiming leadership names
+		// itself. A mismatched or out-of-range id is a misconfigured peer
+		// — ignore its claim rather than index Peers with it and panic.
+		if r.st.Role == RoleLeader && r.st.ID == r.id && r.st.Term >= leaderTerm {
+			leaderSeen, leaderAddr, leaderTerm = r.id, n.cfg.Peers[r.id], r.st.Term
 		}
 	}
 	n.mu.Lock()
@@ -333,56 +375,127 @@ func (n *Node) runElection(now time.Time) {
 		return
 	}
 	n.mu.Unlock()
-	n.becomeLeader(maxTerm+1, now)
-}
-
-// becomeLeader builds a fleet seeded with the replicated registry and
-// membership view, claims the term, and announces with a full
-// snapshot broadcast.
-func (n *Node) becomeLeader(term uint64, now time.Time) {
-	registry, shards, dead := n.state.snapshot()
-	fcfg := n.cfg.Fleet
-	fcfg.Addrs = shards
-	fcfg.SeedRegistry = registry
-	fcfg.DeadMembers = dead
-	if fcfg.Seed == 0 {
-		fcfg.Seed = n.cfg.Seed
-	}
-	fl, err := fleetrpc.New(fcfg)
-	if err != nil {
-		n.cfg.Logf("fleetha node %d: cannot take leadership: %v", n.cfg.ID, err)
+	if !n.readQuorum(reachable) {
+		// fewer than a quorum of replicas readable: an acked entry could
+		// live only on an unreachable peer, so taking over now could
+		// violate the durability contract. Extend the lease and retry.
+		n.cfg.Logf("fleetha node %d: deferring takeover: %d/%d peer replicas readable, need %d",
+			n.cfg.ID, len(reachable), probes, n.electionReadsNeeded())
 		n.mu.Lock()
 		n.lastBeat = n.clk.Now()
 		n.mu.Unlock()
 		return
 	}
-	n.mu.Lock()
-	if n.role == Leader || n.term >= term {
-		// lost a race with an incoming higher-term heartbeat
-		n.mu.Unlock()
-		fl.Close()
-		return
+	n.becomeLeader(maxTerm+1, now)
+}
+
+// readQuorum fetches and unions the exported replicas of the probed
+// peers, reporting whether enough succeeded that our merged state is
+// guaranteed to cover every majority-acked entry.
+func (n *Node) readQuorum(reachable []int) bool {
+	need := n.electionReadsNeeded()
+	if need == 0 {
+		return true
 	}
-	n.role = Leader
-	n.term = term
-	n.leaderID = n.cfg.ID
-	n.leaderAddr = n.cfg.Peers[n.cfg.ID]
-	n.fleet = fl
-	for _, p := range n.peers {
-		if p != nil {
-			n.repl[p.id] = &peerRepl{acked: make(map[string]bool), needFull: true}
+	ch := make(chan bool, len(reachable))
+	launched := 0
+	for _, id := range reachable {
+		p := n.peers[id]
+		if p == nil {
+			continue
+		}
+		launched++
+		go func(p *haPeer) {
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Lease/2)
+			defer cancel()
+			var st StateResponse
+			if err := haDo(ctx, p.hc, p.addr, http.MethodGet, "/ha/v1/state", nil, &st); err != nil {
+				ch <- false
+				return
+			}
+			n.state.mergeRemote(st)
+			ch <- true
+		}(p)
+	}
+	fetched := 0
+	for i := 0; i < launched; i++ {
+		if <-ch {
+			fetched++
 		}
 	}
-	if n.ctrl == nil && n.cfg.Controller != nil {
-		n.ctrl = NewController(*n.cfg.Controller)
+	return fetched >= need
+}
+
+// becomeLeader builds a fleet seeded with the replicated registry and
+// membership view, claims the term, and announces with a full
+// snapshot broadcast. The snapshot and the role flip are made atomic
+// by the replState generation: a replicate from a still-live old
+// leader that lands (and is acked) between the snapshot and the flip
+// bumps the generation, and the flip is retried from a fresher
+// snapshot — so no entry can be acked to the old leader yet missing
+// from the new leader's seeded fleet. The retry window is one fleet
+// construction (no network), so a live old leader cannot starve it;
+// once the flip lands, its next batch is term-fenced and un-acked.
+func (n *Node) becomeLeader(term uint64, now time.Time) {
+	for {
+		registry, shards, dead, gen := n.state.snapshot()
+		fcfg := n.cfg.Fleet
+		fcfg.Addrs = shards
+		fcfg.SeedRegistry = registry
+		fcfg.DeadMembers = dead
+		if fcfg.Seed == 0 {
+			fcfg.Seed = n.cfg.Seed
+		}
+		fl, err := fleetrpc.New(fcfg)
+		if err != nil {
+			n.cfg.Logf("fleetha node %d: cannot take leadership: %v", n.cfg.ID, err)
+			n.mu.Lock()
+			n.lastBeat = n.clk.Now()
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Lock()
+		if n.role == Leader || n.term >= term {
+			// lost a race with an incoming higher-term heartbeat
+			n.mu.Unlock()
+			fl.Close()
+			return
+		}
+		if n.state.generation() != gen {
+			// an entry was replicated to us (and acked to the old leader)
+			// while the fleet was building; rebuild from a fresh snapshot
+			n.mu.Unlock()
+			fl.Close()
+			continue
+		}
+		n.role = Leader
+		n.term = term
+		n.leaderID = n.cfg.ID
+		n.leaderAddr = n.cfg.Peers[n.cfg.ID]
+		n.fleet = fl
+		for _, p := range n.peers {
+			if p != nil {
+				n.repl[p.id] = &peerRepl{acked: make(map[string]bool), needFull: true}
+			}
+		}
+		if n.ctrl == nil && n.cfg.Controller != nil {
+			cc := *n.cfg.Controller
+			if n.cfg.Scaler == nil {
+				// no Scaler: a Spawn decision could never be applied, so
+				// never emit one — promotion/demotion remain available
+				cc.SpawnQueueDepth, cc.MaxShards = 0, 0
+			}
+			n.ctrl = NewController(cc)
+		}
+		n.lastCtrl = now
+		n.prevLatCounts, n.prevLatTotal = fl.LatSnapshot()
+		n.prevStats = fl.Stats()
+		n.mu.Unlock()
+		n.cfg.Logf("fleetha node %d: leading at term %d (%d seeded handles, %d shards, %d dead)",
+			n.cfg.ID, term, len(registry), len(shards), len(dead))
+		n.broadcastReplicate(nil)
+		return
 	}
-	n.lastCtrl = now
-	n.prevLatCounts, n.prevLatTotal = fl.LatSnapshot()
-	n.prevStats = fl.Stats()
-	n.mu.Unlock()
-	n.cfg.Logf("fleetha node %d: leading at term %d (%d seeded handles, %d shards, %d dead)",
-		n.cfg.ID, term, len(registry), len(shards), len(dead))
-	n.broadcastReplicate(nil)
 }
 
 // stepDown demotes a deposed leader: the fleet's registry and
@@ -525,7 +638,11 @@ func (n *Node) broadcastReplicate(extra []RegistryEntry) (acks int) {
 }
 
 // handleReplicate is the follower side of the stream: term fencing,
-// then state application.
+// then state application. The fence check and the apply hold n.mu
+// together: a batch must not slip in between becomeLeader's snapshot
+// generation check and its role flip, or the old leader would ack a
+// submit whose entry the new leader's fleet never saw. (Lock order is
+// always n.mu → state.mu; no path takes them reversed.)
 func (n *Node) handleReplicate(req ReplicateRequest) ReplicateResponse {
 	n.mu.Lock()
 	switch {
@@ -544,13 +661,19 @@ func (n *Node) handleReplicate(req ReplicateRequest) ReplicateResponse {
 		n.mu.Unlock()
 		n.stepDown(req.Term, req.LeaderID)
 		n.mu.Lock()
+		if req.Term < n.term {
+			// the world moved while we were stepping down
+			resp := ReplicateResponse{OK: false, Term: n.term}
+			n.mu.Unlock()
+			return resp
+		}
 	}
 	n.term = req.Term
 	n.leaderID = req.LeaderID
 	n.leaderAddr = req.LeaderAddr
 	n.lastBeat = n.clk.Now()
-	n.mu.Unlock()
 	applied, err := n.state.apply(req)
+	n.mu.Unlock()
 	if err != nil {
 		return ReplicateResponse{OK: false, Term: req.Term, AppliedSeq: applied}
 	}
@@ -581,6 +704,37 @@ func (n *Node) Status() StatusResponse {
 	} else {
 		st.AppliedSeq, st.RegistryLen, st.Epoch, st.RingGen = n.state.stats()
 	}
+	return st
+}
+
+// ExportState dumps the node's replica — the live fleet view when
+// leading, the replicated state otherwise — for a peer's read-quorum
+// fetch during its election.
+func (n *Node) ExportState() StateResponse {
+	n.mu.Lock()
+	fl := n.fleet
+	term := n.term
+	seq := n.seq
+	n.mu.Unlock()
+	var st StateResponse
+	if fl != nil {
+		reg := fl.Registry()
+		st = StateResponse{
+			AppliedSeq: seq,
+			Shards:     fl.Addrs(),
+			Dead:       fl.DeadIDs(),
+			Epoch:      seq,
+			RingGen:    fl.RingGen(),
+		}
+		st.Entries = make([]RegistryEntry, 0, len(reg))
+		//gesp:unordered — entries are keyed by handle on the receiver; export order is irrelevant
+		for h, w := range reg {
+			st.Entries = append(st.Entries, RegistryEntry{Handle: h.String(), Matrix: w})
+		}
+	} else {
+		st = n.state.export()
+	}
+	st.ID, st.Term = n.cfg.ID, term
 	return st
 }
 
@@ -640,9 +794,11 @@ func (n *Node) leaderFleet() (*fleetrpc.Fleet, string, error) {
 }
 
 // SubmitWire registers a matrix on the leading node: factor on the
-// shards, then replicate the registry entry to at least one follower
-// before acking — the durability contract that makes leader SIGKILL
-// lose nothing.
+// shards, then replicate the registry entry to floor(N/2) followers —
+// a majority of the coordinator set counting the leader — before
+// acking. Paired with the election's read-quorum, this is the
+// durability contract that makes leader SIGKILL lose nothing: every
+// possible winner's read set intersects the entry's write set.
 func (n *Node) SubmitWire(ctx context.Context, wire fleetrpc.MatrixRequest) (serve.Handle, error) {
 	fl, _, err := n.leaderFleet()
 	if err != nil {
@@ -656,16 +812,9 @@ func (n *Node) SubmitWire(ctx context.Context, wire fleetrpc.MatrixRequest) (ser
 	if err != nil {
 		return serve.Handle{}, err
 	}
-	hasPeers := false
-	for _, p := range n.peers {
-		if p != nil {
-			hasPeers = true
-			break
-		}
-	}
-	if hasPeers {
+	if need := n.submitAcksNeeded(); need > 0 {
 		acks := n.broadcastReplicate([]RegistryEntry{{Handle: h.String(), Matrix: wire}})
-		if acks == 0 {
+		if acks < need {
 			n.mu.Lock()
 			stillLeading := n.role == Leader
 			n.mu.Unlock()
@@ -674,7 +823,8 @@ func (n *Node) SubmitWire(ctx context.Context, wire fleetrpc.MatrixRequest) (ser
 			}
 			return serve.Handle{}, &fleetrpc.RemoteError{
 				Status: http.StatusServiceUnavailable,
-				Msg:    "fleetha: no follower acked the registry entry; retry",
+				Msg: fmt.Sprintf("fleetha: %d of %d required follower acks for the registry entry; retry",
+					acks, need),
 			}
 		}
 	}

@@ -25,6 +25,14 @@ type replState struct {
 	ringGen uint64
 	//gesp:guardedby:mu
 	appliedSeq uint64
+	// gen counts registry mutations. A takeover snapshots (registry,
+	// gen), builds its fleet, and flips to leader only if gen is still
+	// the snapshot's — otherwise an entry applied (and acked to the old
+	// leader) mid-build would be acked-but-unseeded. Heartbeats with no
+	// entries do not bump it, so a still-streaming old leader cannot
+	// livelock a takeover.
+	//gesp:guardedby:mu
+	gen uint64
 }
 
 func newReplState(shards []string) *replState {
@@ -41,6 +49,7 @@ func (s *replState) apply(req ReplicateRequest) (appliedSeq uint64, err error) {
 	defer s.mu.Unlock()
 	if req.Full {
 		s.registry = make(map[serve.Handle]fleetrpc.MatrixRequest, len(req.Entries))
+		s.gen++
 	}
 	for _, e := range req.Entries {
 		h, perr := serve.ParseHandle(e.Handle)
@@ -48,6 +57,7 @@ func (s *replState) apply(req ReplicateRequest) (appliedSeq uint64, err error) {
 			return s.appliedSeq, perr
 		}
 		s.registry[h] = e.Matrix
+		s.gen++
 	}
 	if len(req.Shards) > 0 {
 		s.shards = append(s.shards[:0], req.Shards...)
@@ -66,8 +76,9 @@ func (s *replState) apply(req ReplicateRequest) (appliedSeq uint64, err error) {
 }
 
 // snapshot copies the replica for a takeover: the registry seeds the
-// new leader's fleet, the shard/dead lists rebuild its membership.
-func (s *replState) snapshot() (registry map[serve.Handle]fleetrpc.MatrixRequest, shards []string, dead []int) {
+// new leader's fleet, the shard/dead lists rebuild its membership, and
+// gen lets the caller detect entries applied after the copy.
+func (s *replState) snapshot() (registry map[serve.Handle]fleetrpc.MatrixRequest, shards []string, dead []int, gen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	registry = make(map[serve.Handle]fleetrpc.MatrixRequest, len(s.registry))
@@ -75,7 +86,14 @@ func (s *replState) snapshot() (registry map[serve.Handle]fleetrpc.MatrixRequest
 	for h, w := range s.registry {
 		registry[h] = w
 	}
-	return registry, append([]string(nil), s.shards...), append([]int(nil), s.dead...)
+	return registry, append([]string(nil), s.shards...), append([]int(nil), s.dead...), s.gen
+}
+
+// generation reads the registry mutation counter.
+func (s *replState) generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // mergeFromFleet folds a deposed leader's fleet view back into the
@@ -89,6 +107,60 @@ func (s *replState) mergeFromFleet(registry map[serve.Handle]fleetrpc.MatrixRequ
 	}
 	s.shards = append(s.shards[:0], shards...)
 	s.dead = append(s.dead[:0], dead...)
+	s.gen++
+}
+
+// mergeRemote unions a peer's exported replica into this one — the
+// election's read-quorum step. Registry entries union in (a handle the
+// old leader acked to only one follower must survive whichever
+// follower wins); membership is adopted wholesale from the peer with
+// the higher replication high-water mark, since it heard the old
+// leader last.
+func (s *replState) mergeRemote(st StateResponse) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range st.Entries {
+		h, err := serve.ParseHandle(e.Handle)
+		if err != nil {
+			continue //gesp:errok — a malformed remote entry cannot be seeded; skip it rather than reject the rest
+		}
+		if _, ok := s.registry[h]; !ok {
+			s.registry[h] = e.Matrix
+			s.gen++
+		}
+	}
+	if st.AppliedSeq > s.appliedSeq {
+		s.appliedSeq = st.AppliedSeq
+		if len(st.Shards) > 0 {
+			s.shards = append(s.shards[:0], st.Shards...)
+		}
+		s.dead = append(s.dead[:0], st.Dead...)
+	}
+	if st.Epoch > s.epoch {
+		s.epoch = st.Epoch
+	}
+	if st.RingGen > s.ringGen {
+		s.ringGen = st.RingGen
+	}
+}
+
+// export dumps the replica for a peer's read-quorum fetch.
+func (s *replState) export() StateResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StateResponse{
+		AppliedSeq: s.appliedSeq,
+		Shards:     append([]string(nil), s.shards...),
+		Dead:       append([]int(nil), s.dead...),
+		Epoch:      s.epoch,
+		RingGen:    s.ringGen,
+	}
+	st.Entries = make([]RegistryEntry, 0, len(s.registry))
+	//gesp:unordered — entries are keyed by handle on the receiver; export order is irrelevant
+	for h, w := range s.registry {
+		st.Entries = append(st.Entries, RegistryEntry{Handle: h.String(), Matrix: w})
+	}
+	return st
 }
 
 func (s *replState) stats() (appliedSeq uint64, registryLen int, epoch, ringGen uint64) {

@@ -79,6 +79,21 @@ type ReplicateResponse struct {
 	AppliedSeq uint64 `json:"applied_seq"`
 }
 
+// StateResponse is one node's exported replica — what an electing
+// follower reads from every reachable peer (the read-quorum) so the
+// union of a write-quorum ack and a read-quorum fetch always covers
+// every acked handle, whichever follower wins the election.
+type StateResponse struct {
+	ID         int             `json:"id"`
+	Term       uint64          `json:"term"`
+	AppliedSeq uint64          `json:"applied_seq"`
+	Entries    []RegistryEntry `json:"entries,omitempty"`
+	Shards     []string        `json:"shards,omitempty"`
+	Dead       []int           `json:"dead,omitempty"`
+	Epoch      uint64          `json:"epoch"`
+	RingGen    uint64          `json:"ring_gen"`
+}
+
 // TraceResponse is the controller's decision log.
 type TraceResponse struct {
 	Decisions []Decision `json:"decisions"`
